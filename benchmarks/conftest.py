@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every file in this directory regenerates one experiment (one table/figure
+of EXPERIMENTS.md). Conventions:
+
+* the ``benchmark`` fixture wraps the hot measurement (so
+  ``pytest benchmarks/ --benchmark-only`` reports timing), and
+* each bench *asserts the shape* of the result — who wins, how quantities
+  scale — mirroring the claims of the paper rather than absolute numbers.
+
+Scales are reduced relative to ``python -m repro.bench <id>`` so the whole
+suite completes in a few minutes.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark fixture.
+
+    Simulation experiments are far too heavy to iterate hundreds of
+    times; ``pedantic`` with one round keeps pytest-benchmark's reporting
+    while executing a single run whose result the test then asserts on.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

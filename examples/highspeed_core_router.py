@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The O(1) argument for core routers: scheduling cost as flows scale.
+
+The paper's motivation: an OC-768 (40 Gb/s) port transmits a 200 B packet
+in 40 ns, and a core router can carry ~10^6 concurrent flows. A
+per-packet cost that grows with log N (timestamp schedulers) or N (exact
+GPS tracking) cannot keep up; SRR's cost is a small constant.
+
+This example measures elementary operations AND wall-clock time per
+dequeue for SRR and the baselines as the flow count grows, then
+extrapolates: how many scheduling decisions per second does each
+discipline sustain, and what line rate does that support at 200 B
+packets?
+
+Run:
+    python examples/highspeed_core_router.py
+    python examples/highspeed_core_router.py --max-flows 65536
+"""
+
+import argparse
+import time
+
+from repro.analysis import format_table
+from repro.bench import build_loaded_scheduler, ops_per_packet
+
+
+def wallclock_per_dequeue(name: str, n_flows: int, **kwargs) -> float:
+    sched = build_loaded_scheduler(
+        name, {i: (i % 7) + 1 for i in range(n_flows)},
+        packets_per_flow=3, **kwargs,
+    )
+    count = min(3000, 3 * n_flows)
+    start = time.perf_counter()
+    for _ in range(count):
+        sched.dequeue()
+    return (time.perf_counter() - start) / count
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-flows", type=int, default=16384)
+    parser.add_argument(
+        "--schedulers", nargs="+",
+        default=["srr", "drr", "scfq", "wfq"],
+    )
+    args = parser.parse_args()
+
+    n_values = []
+    n = 16
+    while n <= args.max_flows:
+        n_values.append(n)
+        n *= 8
+
+    rows = []
+    for name in args.schedulers:
+        for n in n_values:
+            mean_ops, worst_ops = ops_per_packet(name, n, measure=3000)
+            us = wallclock_per_dequeue(name, n) * 1e6
+            rate_gbps = 200 * 8 / (us * 1000)  # 200 B packets
+            rows.append([
+                name, n, round(mean_ops, 2), worst_ops,
+                round(us, 2), round(rate_gbps, 3),
+            ])
+    print(format_table(
+        ["scheduler", "flows", "ops/pkt", "worst ops", "us/pkt",
+         "line rate Gb/s*"],
+        rows,
+        title="Per-packet scheduling cost vs flow count",
+    ))
+    print(
+        "\n* the line rate one CPython interpreter could schedule at 200 B\n"
+        "  packets — a toy number (real routers use silicon), but the\n"
+        "  SHAPE is the paper's argument: SRR's columns are flat while\n"
+        "  the timestamp schedulers' grow with N. In hardware the same\n"
+        "  flat-vs-log(N) gap decides feasibility at 40 Gb/s."
+    )
+
+
+if __name__ == "__main__":
+    main()

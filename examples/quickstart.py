@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: the SRR scheduler in 60 seconds.
+
+Demonstrates the public API at its two levels:
+
+1. the raw scheduler — register weighted flows, enqueue packets, pull
+   them in SRR order, and see the Weight Spread Sequence in action;
+2. the network simulator — two hosts behind a shared bottleneck whose
+   output port runs SRR.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Packet, SRRScheduler, wss_sequence
+from repro.net import CBRSource, Network
+
+
+def scheduler_level() -> None:
+    print("=" * 64)
+    print("1. The scheduler itself")
+    print("=" * 64)
+
+    # Weights are positive integers proportional to reserved rates.
+    sched = SRRScheduler()
+    sched.add_flow("voice", weight=1)   # e.g. 64 kb/s
+    sched.add_flow("video", weight=4)   # e.g. 256 kb/s
+    sched.add_flow("bulk", weight=2)    # e.g. 128 kb/s
+
+    # Backlog every flow so the service order shows pure scheduling.
+    for flow_id in ("voice", "video", "bulk"):
+        for seq in range(8):
+            sched.enqueue(Packet(flow_id, size=200, seq=seq))
+
+    # Total weight is 7, so one WSS round serves 7 packets: video 4x,
+    # bulk 2x, voice 1x — evenly interleaved, never in bursts.
+    order = [sched.dequeue().flow_id for _ in range(14)]
+    print(f"\nWSS^3 sequence drives the scan: {wss_sequence(3)}")
+    print(f"service order (two rounds):      {order}")
+    counts = {f: order.count(f) for f in ("video", "bulk", "voice")}
+    print(f"services per two rounds:         {counts}  (= 2 x weight)")
+
+
+def network_level() -> None:
+    print()
+    print("=" * 64)
+    print("2. The network simulator (ns-2 stand-in)")
+    print("=" * 64)
+
+    net = Network(default_scheduler="srr")
+    for name in ("alice", "bob", "router", "server"):
+        net.add_node(name)
+    net.add_link("alice", "router", rate_bps=10e6, delay=0.001)
+    net.add_link("bob", "router", rate_bps=10e6, delay=0.001)
+    # The shared bottleneck where SRR arbitrates.
+    net.add_link("router", "server", rate_bps=1e6, delay=0.005)
+
+    # Alice reserves 3x Bob's share; both want the whole link (900 kb/s
+    # each into a 1 Mb/s bottleneck), so the weights decide who gets what.
+    net.add_flow("alice-data", "alice", "server", weight=3, max_queue=100)
+    net.add_flow("bob-data", "bob", "server", weight=1, max_queue=100)
+    net.attach_source("alice-data", CBRSource(900_000, packet_size=500))
+    net.attach_source("bob-data", CBRSource(900_000, packet_size=500))
+
+    net.run(until=5.0)
+
+    for fid in ("alice-data", "bob-data"):
+        rec = net.sinks.flow(fid)
+        print(
+            f"\n{fid}: {rec.packets} packets delivered, "
+            f"goodput {rec.throughput_bps(1.0, 5.0) / 1e3:.0f} kb/s, "
+            f"mean delay {sum(rec.delays()) / rec.packets * 1e3:.2f} ms"
+        )
+    print("\nAlice's goodput is ~3x Bob's: the 3:1 weights decide the")
+    print("split under overload (the excess waits or is dropped at the")
+    print("100-packet queue limit), and SRR interleaves their packets")
+    print("smoothly instead of in bursts.")
+
+
+if __name__ == "__main__":
+    scheduler_level()
+    network_level()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Why "smoothed" matters: VoIP jitter under SRR vs WRR vs DRR.
+
+The intro's motivating workload: a VoIP flow shares a bottleneck with a
+few bulk transfers in a fixed-packet-size network (the paper's model —
+every packet is 200 B). All the round-robin schedulers give the voice
+flow its reserved throughput, and its *weight* entitles it to several
+services per round. The difference is WHERE in the round those services
+land:
+
+* WRR and DRR deliver each flow's whole per-round allocation as one
+  contiguous burst, so voice packets sit through the bulk flows' bursts;
+* SRR spreads the allocation across the round following the Weight
+  Spread Sequence, so a weight-w flow is served ~every (round/w) slots.
+
+That difference is directly visible as the voice flow's delay ceiling
+and jitter.
+
+Run:
+    python examples/voip_smoothness.py
+"""
+
+import argparse
+
+from repro.analysis import format_table, jitter, summarize_delays
+from repro.net import BurstSource, CBRSource, Network
+
+PACKET = 200          # the paper's fixed packet size
+UNIT_BPS = 16_000     # one weight unit
+BOTTLENECK = 2e6      # 2 Mb/s access trunk
+
+
+def build(scheduler: str, n_bulk: int) -> Network:
+    net = Network(
+        default_scheduler=scheduler,
+        # DRR quantum = packet size: the honest fixed-size comparison.
+        default_scheduler_kwargs=(
+            {"quantum": PACKET} if scheduler == "drr" else {}
+        ),
+    )
+    for name in ("pbx", "fileserver", "router", "office"):
+        net.add_node(name)
+    net.add_link("pbx", "router", rate_bps=100e6, delay=0.0005)
+    net.add_link("fileserver", "router", rate_bps=100e6, delay=0.0005)
+    net.add_link("router", "office", rate_bps=BOTTLENECK, delay=0.005)
+
+    # Voice: 64 kb/s = weight 4 -> four evenly spread services per round
+    # under SRR, one burst of four under WRR/DRR.
+    net.add_flow("voip", "pbx", "office", weight=4)
+    net.attach_source("voip", CBRSource(64_000, packet_size=PACKET))
+    # Bulk transfers: 400 kb/s reservations (weight 25), permanently
+    # backlogged.
+    for i in range(n_bulk):
+        fid = f"bulk{i}"
+        net.add_flow(fid, "fileserver", "office", weight=25)
+        net.attach_source(fid, BurstSource(20_000, packet_size=PACKET))
+    return net
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bulk", type=int, default=4,
+                        help="number of bulk flows (weight 25 each)")
+    parser.add_argument("--duration", type=float, default=10.0)
+    args = parser.parse_args()
+
+    rows = []
+    for name in ("srr", "wrr", "drr", "wfq"):
+        net = build(name, args.bulk)
+        net.run(until=args.duration)
+        delays = net.sinks.delays("voip")
+        stats = summarize_delays(delays)
+        rows.append([
+            name, stats.count,
+            round(stats.mean * 1e3, 2),
+            round(stats.p99 * 1e3, 2),
+            round(stats.maximum * 1e3, 2),
+            round(jitter(delays) * 1e3, 3),
+        ])
+    round_ms = (4 + args.bulk * 25) * PACKET * 8 / BOTTLENECK * 1e3
+    print(format_table(
+        ["scheduler", "voice pkts", "mean ms", "p99 ms", "max ms",
+         "jitter ms"],
+        rows,
+        title=(
+            f"VoIP (64 kb/s, weight 4) among {args.bulk} backlogged bulk "
+            f"flows (weight 25) — one round = {round_ms:.0f} ms of slots"
+        ),
+    ))
+    print(
+        "\nSRR serves the voice flow ~4 evenly spaced times per round\n"
+        "(ceiling ~ round/4); WRR and DRR make it wait out whole bulk\n"
+        "bursts (ceiling ~ a full round). WFQ is the timestamp reference."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — a reproduction of "SRR: An O(1) Time Complexity Packet Scheduler
+for Flows in Multi-Service Packet Networks" (Chuanxiong Guo, SIGCOMM 2001 /
+IEEE/ACM ToN 12(6), 2004).
+
+Layout:
+
+* :mod:`repro.core` — SRR and its data structures (WSS, Weight Matrix);
+* :mod:`repro.schedulers` — baselines (FIFO, RR, WRR, DRR, WFQ, SCFQ,
+  STFQ, WF²Q+);
+* :mod:`repro.extensions` — the author's follow-on machinery (RRR, G-3,
+  PWBT/TSS/TArray), used as extra comparators;
+* :mod:`repro.net` — a from-scratch discrete-event network simulator
+  standing in for ns-2;
+* :mod:`repro.analysis` — metrics, fairness indices and analytic bounds;
+* :mod:`repro.bench` — the experiment harness regenerating every
+  table/figure (see DESIGN.md / EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import SRRScheduler, Packet
+
+    sched = SRRScheduler()
+    sched.add_flow("voice", weight=2)
+    sched.add_flow("bulk", weight=1)
+    sched.enqueue(Packet("voice", size=200))
+    sched.enqueue(Packet("bulk", size=200))
+    pkt = sched.dequeue()
+"""
+
+from .core import (
+    OpCounter,
+    Packet,
+    PacketScheduler,
+    ReproError,
+    SRRScheduler,
+    WSSCursor,
+    wss_sequence,
+    wss_term,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OpCounter",
+    "Packet",
+    "PacketScheduler",
+    "ReproError",
+    "SRRScheduler",
+    "WSSCursor",
+    "wss_sequence",
+    "wss_term",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""``python -m repro`` — orientation entry point.
+
+Prints the package version, the available schedulers, and how to run the
+experiments and examples. The actual experiment CLI is
+``python -m repro.bench``.
+"""
+
+import sys
+
+from . import __version__
+from .bench.runner import EXPERIMENTS, _DESCRIPTIONS
+from .schedulers import available_schedulers
+
+
+def main() -> int:
+    import repro.extensions  # noqa: F401  (registers rrr/g3)
+
+    print(f"repro {__version__} — reproduction of SRR (Guo, SIGCOMM 2001)")
+    print()
+    print("schedulers:", " ".join(available_schedulers()))
+    print()
+    print("experiments (python -m repro.bench <id> [--quick]):")
+    for name in sorted(EXPERIMENTS, key=lambda n: int(n[1:])):
+        print(f"  {name:4s} {_DESCRIPTIONS[name]}")
+    print()
+    print("examples: see examples/*.py; docs: README.md, DESIGN.md,")
+    print("EXPERIMENTS.md, docs/algorithms.md, docs/simulator.md, docs/api.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Analysis: delay statistics, fairness indices, analytic bounds, curves.
+
+Pure functions over traces and series; no simulator state. The benchmark
+harness composes these into the per-experiment tables of EXPERIMENTS.md.
+"""
+
+from .bounds import (
+    drr_delay_bound,
+    end_to_end_bound,
+    g3_delay_bound,
+    nonzero_bits,
+    rrr_delay_bound,
+    srr_delay_bound,
+    theta,
+    wfq_delay_bound,
+)
+from .fairness import (
+    GapStats,
+    gap_statistics,
+    jain_index,
+    service_fairness_index,
+    worst_case_fairness,
+    worst_case_lag,
+)
+from .metrics import DelayStats, jitter, percentile, summarize_delays
+from .stats import (
+    ReplicationSummary,
+    summarize_replications,
+    t_critical,
+)
+from .service_curves import (
+    curve_from_finish_times,
+    horizontal_deviation,
+    max_ideal_lag,
+)
+from .tables import format_table, print_table
+
+__all__ = [
+    "DelayStats",
+    "GapStats",
+    "curve_from_finish_times",
+    "drr_delay_bound",
+    "end_to_end_bound",
+    "format_table",
+    "g3_delay_bound",
+    "gap_statistics",
+    "horizontal_deviation",
+    "jain_index",
+    "jitter",
+    "max_ideal_lag",
+    "nonzero_bits",
+    "percentile",
+    "print_table",
+    "ReplicationSummary",
+    "summarize_replications",
+    "t_critical",
+    "rrr_delay_bound",
+    "service_fairness_index",
+    "srr_delay_bound",
+    "summarize_delays",
+    "theta",
+    "wfq_delay_bound",
+    "worst_case_fairness",
+    "worst_case_lag",
+]

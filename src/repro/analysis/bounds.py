@@ -1,0 +1,217 @@
+"""Analytic delay bounds from the paper(s), for bound-validation benches.
+
+All bounds return **seconds** and take rates in bits/s, packet sizes in
+bytes, consistent with the simulator. ``L`` denotes the (fixed) packet
+size of the paper's model.
+
+Implemented:
+
+* SRR single-node bound — Theorem 1 (power-of-two rates) and Lemma 2
+  (arbitrary rates): ``d_srr <= θ(n_m)·N·L/C + (m-1)·L/r`` with
+  ``θ(n) < n``. We use the stated majorant ``θ(n) = n`` so measured
+  delays must fall below the returned value.
+* RRR bound — Eq. 11: ``d_rrr <= m·L/r`` where ``m`` counts the non-zero
+  bits of the *normalised* weight (and therefore depends on the slot
+  grid ``g``; the paper's criticism).
+* G-3 single-node bound — Theorem 2:
+  ``d_g3 <= θ(k-1)·L/C + m·L/r - L/C``.
+* WFQ/PGPS single-node bound (Parekh-Gallager, for a
+  ``(sigma, rho)``-constrained flow): ``sigma/r + L/r + L/C``.
+* LR-server end-to-end composition — Corollary 1:
+  ``D <= sigma/r + Σ_i d(i)``.
+
+Note on "bounded delay": the paper's Definition 1 measures each flow's
+finish times against its *ideal* (rate-r fluid) service started at the
+flow's own arrival. The bounds above are therefore statements about the
+scheduler-induced extra delay; queueing due to a flow sending faster
+than its reservation is on top (and is what the leaky-bucket term
+``sigma/r`` covers end to end).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "nonzero_bits",
+    "theta",
+    "srr_delay_bound",
+    "rrr_delay_bound",
+    "g3_delay_bound",
+    "wfq_delay_bound",
+    "drr_delay_bound",
+    "end_to_end_bound",
+]
+
+
+def nonzero_bits(value: int) -> int:
+    """Number of non-zero binary coefficients (the paper's ``m``)."""
+    if value < 0:
+        raise ConfigurationError(f"value must be >= 0, got {value}")
+    return bin(value).count("1")
+
+
+def theta(n: int) -> float:
+    """The paper's ``θ(n)`` majorant (Lemma 1 states ``θ(n) < n``).
+
+    We take ``θ(n) = n`` (and ``θ(0) = 1`` so degenerate single-slot
+    flows keep a positive bound), making every bound an upper envelope.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    return float(max(n, 1))
+
+
+def srr_delay_bound(
+    weight: int,
+    n_flows: int,
+    packet_size: int,
+    link_rate_bps: float,
+    weight_unit_bps: float,
+) -> float:
+    """Lemma 2: SRR single-node delay bound, in seconds.
+
+    Args:
+        weight: The flow's integer SRR weight.
+        n_flows: Number of active flows ``N`` at the node.
+        packet_size: Fixed packet size ``L`` in bytes.
+        link_rate_bps: Output link rate ``C`` in bits/s.
+        weight_unit_bps: Rate represented by one weight unit (so the
+            flow's reserved rate is ``weight * weight_unit_bps``).
+
+    The bound is ``θ(n_m)·N·L/C + (m-1)·L/r`` — *linear in N*, which is
+    exactly what experiment E4 demonstrates.
+    """
+    _check_common(packet_size, link_rate_bps)
+    if weight < 1:
+        raise ConfigurationError("weight must be >= 1")
+    if n_flows < 1:
+        raise ConfigurationError("n_flows must be >= 1")
+    rate = weight * weight_unit_bps
+    m = nonzero_bits(weight)
+    n_m = weight.bit_length() - 1  # highest set bit
+    packet_time = packet_size * 8.0 / link_rate_bps
+    return theta(n_m) * n_flows * packet_time + (m - 1) * packet_size * 8.0 / rate
+
+
+def rrr_delay_bound(
+    weight: int,
+    capacity_slots: int,
+    packet_size: int,
+    link_rate_bps: float,
+) -> float:
+    """Eq. 11: ``d_rrr <= m·L/r`` with ``m`` bits of the slot weight.
+
+    ``weight``/``capacity_slots`` define the reserved fraction of the
+    link, so ``r = weight / capacity_slots * C``. The number of bits
+    ``m`` is taken from the slot weight — the grid-dependent quantity the
+    paper criticises.
+    """
+    _check_common(packet_size, link_rate_bps)
+    if not 1 <= weight <= capacity_slots:
+        raise ConfigurationError("weight must be in 1..capacity_slots")
+    if capacity_slots < 1 or capacity_slots & (capacity_slots - 1):
+        raise ConfigurationError("capacity_slots must be a power of two")
+    rate = weight / capacity_slots * link_rate_bps
+    m = nonzero_bits(weight)
+    return m * packet_size * 8.0 / rate
+
+
+def g3_delay_bound(
+    weight: int,
+    capacity_slots: int,
+    packet_size: int,
+    link_rate_bps: float,
+) -> float:
+    """Theorem 2: ``d_g3 <= θ(k-1)·L/C + m·L/r - L/C`` in seconds.
+
+    ``k`` is the order of the capacity (``⌊log2 C_slots⌋ + 1``), ``m``
+    the popcount of the flow's slot weight and ``r`` its reserved rate
+    ``weight / capacity_slots * C``. N-independent — the whole point.
+    """
+    _check_common(packet_size, link_rate_bps)
+    if capacity_slots < 1:
+        raise ConfigurationError("capacity_slots must be >= 1")
+    if not 1 <= weight <= capacity_slots:
+        raise ConfigurationError("weight must be in 1..capacity_slots")
+    k = capacity_slots.bit_length()
+    m = nonzero_bits(weight)
+    rate = weight / capacity_slots * link_rate_bps
+    packet_time = packet_size * 8.0 / link_rate_bps
+    return theta(k - 1) * packet_time + m * packet_size * 8.0 / rate - packet_time
+
+
+def wfq_delay_bound(
+    sigma_bytes: float,
+    rate_bps: float,
+    packet_size: int,
+    link_rate_bps: float,
+) -> float:
+    """Parekh-Gallager single-node PGPS bound for a ``(sigma, r)`` flow:
+    ``sigma/r + L/r + L/C`` seconds."""
+    _check_common(packet_size, link_rate_bps)
+    if rate_bps <= 0 or sigma_bytes < 0:
+        raise ConfigurationError("need rate > 0 and sigma >= 0")
+    return (
+        sigma_bytes * 8.0 / rate_bps
+        + packet_size * 8.0 / rate_bps
+        + packet_size * 8.0 / link_rate_bps
+    )
+
+
+def drr_delay_bound(
+    weight: float,
+    total_weight: float,
+    quantum: int,
+    packet_size: int,
+    link_rate_bps: float,
+) -> float:
+    """DRR's LR-server latency (Stiliadis & Varma, 1998): with per-flow
+    quantum ``φ_i = weight * quantum`` and frame ``F = total_weight *
+    quantum``, the latency is ``(3F - 2φ_i)/C`` (plus one packet time of
+    store-and-forward), in seconds.
+
+    Like SRR's bound this grows with the *frame* — i.e. with the number
+    of flows — which is why DRR sits in the same delay class as SRR in
+    experiment E4.
+    """
+    _check_common(packet_size, link_rate_bps)
+    if weight <= 0 or total_weight < weight:
+        raise ConfigurationError("need 0 < weight <= total_weight")
+    if quantum < 1:
+        raise ConfigurationError("quantum must be >= 1")
+    phi = weight * quantum
+    frame = total_weight * quantum
+    return (
+        (3 * frame - 2 * phi) * 8.0 / link_rate_bps
+        + packet_size * 8.0 / link_rate_bps
+    )
+
+
+def end_to_end_bound(
+    sigma_bytes: float,
+    rate_bps: float,
+    per_node_bounds: Iterable[float],
+) -> float:
+    """Corollary 1 (LR-server composition): ``D <= sigma/r + Σ d(i)``.
+
+    ``per_node_bounds`` are the single-node scheduler bounds along the
+    path (each from :func:`srr_delay_bound` / :func:`g3_delay_bound` /
+    ...), and the burst term is paid once.
+    """
+    if rate_bps <= 0 or sigma_bytes < 0:
+        raise ConfigurationError("need rate > 0 and sigma >= 0")
+    bounds: List[float] = list(per_node_bounds)
+    if any(b < 0 or math.isnan(b) for b in bounds):
+        raise ConfigurationError("per-node bounds must be non-negative")
+    return sigma_bytes * 8.0 / rate_bps + sum(bounds)
+
+
+def _check_common(packet_size: int, link_rate_bps: float) -> None:
+    if packet_size <= 0:
+        raise ConfigurationError("packet_size must be positive")
+    if link_rate_bps <= 0:
+        raise ConfigurationError("link rate must be positive")

@@ -1,0 +1,200 @@
+"""Fairness indices: Jain, Golestani SFI, worst-case lag, smoothness.
+
+These operate on *service traces* — ordered ``(time, flow_id, size)``
+transmissions at one port (see
+:class:`~repro.net.monitors.ServiceTrace`) — or on plain service-order
+sequences, and implement the measures the scheduling literature (and the
+paper's fairness discussion) uses:
+
+* **Jain's index** over weight-normalised throughputs: 1.0 = perfectly
+  proportional shares.
+* **Golestani's Service Fairness Index (SFI)**: the maximum over flow
+  pairs and time windows of ``|S_i(t1,t2)/w_i - S_j(t1,t2)/w_j|`` while
+  both flows are continuously backlogged. Bounded for fair-queueing
+  schedulers; grows with burstiness for WRR/DRR.
+* **Worst-case normalised lag** against the fluid reference: for each
+  flow, ``max_t (w_i/W * S(0,t) - S_i(0,t))`` — how far the scheduler
+  lets a flow fall behind its entitled share.
+* **Smoothness statistics** of inter-service distances — the property SRR
+  is named for (experiment E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "jain_index",
+    "service_fairness_index",
+    "worst_case_lag",
+    "worst_case_fairness",
+    "gap_statistics",
+    "GapStats",
+]
+
+TraceEntry = Tuple[float, Hashable, int]
+
+
+def jain_index(shares: Sequence[float]) -> float:
+    """Jain's fairness index of (already weight-normalised) allocations.
+
+    ``(Σx)² / (n·Σx²)``; 1.0 means perfectly equal normalised shares,
+    ``1/n`` means one flow took everything.
+    """
+    xs = [float(x) for x in shares]
+    if not xs:
+        raise ConfigurationError("jain_index of empty allocation")
+    if any(x < 0 for x in xs):
+        raise ConfigurationError("allocations must be non-negative")
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0:
+        return 1.0  # all-zero: vacuously fair
+    return total * total / (len(xs) * squares)
+
+
+def service_fairness_index(
+    trace: Sequence[TraceEntry],
+    weights: Dict[Hashable, float],
+    *,
+    window: float,
+    step: float = 0.0,
+) -> float:
+    """Golestani SFI over sliding windows of ``window`` seconds.
+
+    Only flows in ``weights`` are considered (best-effort traffic is
+    excluded by omission) and they are assumed continuously backlogged
+    over the trace — arrange the workload accordingly (E6 uses greedy
+    sources).
+
+    Returns the maximum over windows and flow pairs of
+    ``|S_i/w_i - S_j/w_j|`` in bytes-per-unit-weight.
+    """
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    if not trace:
+        return 0.0
+    if step <= 0:
+        step = window / 2
+    t_start = trace[0][0]
+    t_end = trace[-1][0]
+    flows = list(weights)
+    worst = 0.0
+    t0 = t_start
+    while t0 < t_end:
+        t1 = t0 + window
+        served = {f: 0.0 for f in flows}
+        for t, fid, size in trace:
+            if t0 <= t < t1 and fid in served:
+                served[fid] += size
+        normalised = [served[f] / weights[f] for f in flows]
+        worst = max(worst, max(normalised) - min(normalised))
+        t0 += step
+    return worst
+
+
+def worst_case_lag(
+    trace: Sequence[TraceEntry],
+    weights: Dict[Hashable, float],
+) -> Dict[Hashable, float]:
+    """Per-flow worst normalised service lag vs. the fluid share.
+
+    At each transmission completion, the fluid reference has served flow
+    ``i`` exactly ``w_i / W`` of the total bytes; the lag is how far the
+    actual cumulative service is behind that. Flows are assumed
+    continuously backlogged.
+    """
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        raise ConfigurationError("total weight must be positive")
+    served = {f: 0.0 for f in weights}
+    total = 0.0
+    lag = {f: 0.0 for f in weights}
+    for _t, fid, size in trace:
+        total += size
+        if fid in served:
+            served[fid] += size
+        for f in weights:
+            entitled = weights[f] / total_weight * total
+            lag[f] = max(lag[f], entitled - served[f])
+    return lag
+
+
+def worst_case_fairness(records, rate_bps: float) -> float:
+    """Empirical Worst-case Fairness Index of one flow (Bennett & Zhang).
+
+    A scheduler is worst-case fair for flow ``i`` with constant ``C_i``
+    when every packet arriving at time ``a`` departs by
+    ``a + Q_i(a)/r_i + C_i``, where ``Q_i(a)`` is the flow's own queue
+    (including the packet) at arrival. This function computes the
+    empirical ``C_i`` — the maximum over delivered packets of
+    ``delay - Q_i(arrival)/r`` — from per-packet delivery records
+    (``seq``/``size``/``created_at``/``delivered_at``, e.g.
+    :class:`~repro.net.sinks.DeliveryRecord`). Small values mean the
+    scheduler never lets the flow fall behind its own fluid service;
+    bursty schedulers (WRR/DRR) produce C_i on the order of a full round.
+
+    Assumes per-flow FIFO service (true for every scheduler here), so
+    delivery times are non-decreasing in ``seq``.
+    """
+    if rate_bps <= 0:
+        raise ConfigurationError("rate must be positive")
+    recs = sorted(records, key=lambda r: r.seq)
+    if not recs:
+        raise ConfigurationError("no records")
+    from bisect import bisect_right
+
+    deliver_times = [r.delivered_at for r in recs]
+    prefix = [0]
+    for r in recs:
+        prefix.append(prefix[-1] + r.size)
+    rate_bytes = rate_bps / 8.0
+    worst = float("-inf")
+    for idx, r in enumerate(recs):
+        # Own-queue backlog at arrival: earlier packets not yet delivered
+        # (per-flow FIFO makes deliver_times sorted) plus this packet.
+        j = bisect_right(deliver_times, r.created_at, 0, idx)
+        backlog = (prefix[idx] - prefix[j]) + r.size
+        slack = (r.delivered_at - r.created_at) - backlog / rate_bytes
+        worst = max(worst, slack)
+    return worst
+
+
+@dataclass(frozen=True)
+class GapStats:
+    """Inter-service distance statistics for one flow in a slot sequence."""
+
+    flow_id: Hashable
+    services: int
+    min_gap: int
+    max_gap: int
+    mean_gap: float
+    #: Coefficient of variation of the gaps; 0 = perfectly periodic
+    #: (the "smoothness" scalar of experiment E2).
+    cv: float
+
+
+def gap_statistics(
+    sequence: Sequence[Hashable], flow_id: Hashable
+) -> GapStats:
+    """Distances between consecutive services of ``flow_id`` in a service
+    order (E2's smoothness measure; compare SRR vs WRR vs DRR)."""
+    positions = [i for i, f in enumerate(sequence) if f == flow_id]
+    if len(positions) < 2:
+        raise ConfigurationError(
+            f"flow {flow_id!r} served fewer than twice in the sequence"
+        )
+    gaps = [b - a for a, b in zip(positions, positions[1:])]
+    mean = sum(gaps) / len(gaps)
+    var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+    return GapStats(
+        flow_id=flow_id,
+        services=len(positions),
+        min_gap=min(gaps),
+        max_gap=max(gaps),
+        mean_gap=mean,
+        cv=(var ** 0.5) / mean if mean else 0.0,
+    )

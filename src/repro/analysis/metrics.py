@@ -1,0 +1,92 @@
+"""Delay/throughput summary statistics used by every experiment table.
+
+Pure functions over lists of floats — no simulator coupling — so they are
+equally usable on simulation output and on analytic series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["DelayStats", "summarize_delays", "percentile", "jitter"]
+
+
+@dataclass(frozen=True)
+class DelayStats:
+    """Summary of a per-packet delay series (seconds)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+    stddev: float
+
+    def as_row(self, scale: float = 1e3) -> List[float]:
+        """The stats as a list (default scaled to milliseconds)."""
+        return [
+            self.count,
+            self.mean * scale,
+            self.minimum * scale,
+            self.p50 * scale,
+            self.p95 * scale,
+            self.p99 * scale,
+            self.maximum * scale,
+        ]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100])."""
+    if not values:
+        raise ConfigurationError("percentile of empty series")
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"percentile q must be in 0..100, got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Interpolation can round one ulp outside [lo, hi] for subnormal or
+    # extreme inputs; clamp to keep the mathematical invariant exact.
+    return min(max(value, ordered[lo]), ordered[hi])
+
+
+def summarize_delays(delays: Iterable[float]) -> DelayStats:
+    """Build a :class:`DelayStats` from a delay series."""
+    values = list(delays)
+    if not values:
+        raise ConfigurationError("no delays recorded")
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return DelayStats(
+        count=n,
+        mean=mean,
+        minimum=min(values),
+        maximum=max(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        p99=percentile(values, 99),
+        stddev=math.sqrt(var),
+    )
+
+
+def jitter(delays: Sequence[float]) -> float:
+    """Mean absolute delay variation between consecutive packets
+    (RFC 3550-style smoothing omitted; this is the plain mean |Δd|)."""
+    if len(delays) < 2:
+        return 0.0
+    return sum(
+        abs(b - a) for a, b in zip(delays, delays[1:])
+    ) / (len(delays) - 1)

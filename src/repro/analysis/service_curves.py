@@ -1,0 +1,78 @@
+"""Service-curve utilities: cumulative service vs. the ideal rate line.
+
+The paper's Definition 1 compares a flow's real service curve
+``S_ps(t - t0)`` against the ideal fluid curve ``S_id(t - t0) = r(t-t0)``
+and defines the scheduler delay as the worst horizontal deviation between
+them (Fig. 7 of the supplied text). These helpers compute exactly that
+from a cumulative-service step function (as produced by
+:meth:`repro.net.monitors.ServiceTrace.service_curve` or from sink
+records).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "horizontal_deviation",
+    "curve_from_finish_times",
+    "max_ideal_lag",
+]
+
+Curve = Sequence[Tuple[float, float]]  # (time, cumulative bytes), sorted
+
+
+def curve_from_finish_times(
+    finish_times: Sequence[float], packet_size: int
+) -> List[Tuple[float, float]]:
+    """Cumulative-bytes steps from per-packet finish times (fixed size)."""
+    if packet_size <= 0:
+        raise ConfigurationError("packet_size must be positive")
+    return [
+        (t, (i + 1) * packet_size) for i, t in enumerate(sorted(finish_times))
+    ]
+
+
+def horizontal_deviation(
+    curve: Curve, rate_bps: float, start_time: float = 0.0
+) -> float:
+    """Worst horizontal gap between the ideal line and the real curve.
+
+    For each step point ``(t_i, S_i)`` of the real curve, the ideal
+    rate-``r`` server starting at ``start_time`` reaches ``S_i`` bytes at
+    ``start_time + S_i / r``; the deviation is
+    ``max_i (t_i - (start_time + S_i/r))`` clamped at 0. This is the
+    ``d_ps`` of Definition 1 measured empirically.
+    """
+    if rate_bps <= 0:
+        raise ConfigurationError("rate must be positive")
+    rate_bytes = rate_bps / 8.0
+    worst = 0.0
+    last_t = -float("inf")
+    for t, served in curve:
+        if t < last_t:
+            raise ConfigurationError("curve times must be non-decreasing")
+        last_t = t
+        ideal_t = start_time + served / rate_bytes
+        worst = max(worst, t - ideal_t)
+    return worst
+
+
+def max_ideal_lag(
+    finish_times: Sequence[float],
+    rate_bps: float,
+    packet_size: int,
+    start_time: float = 0.0,
+) -> float:
+    """``max_i (t_i - t_i^id)`` with ``t_i^id = start + i*L/r`` — the
+    per-packet form of Definition 1 (Eq. 2)."""
+    if rate_bps <= 0 or packet_size <= 0:
+        raise ConfigurationError("need positive rate and packet size")
+    per_packet = packet_size * 8.0 / rate_bps
+    worst = 0.0
+    for i, t in enumerate(sorted(finish_times)):
+        ideal = start_time + (i + 1) * per_packet
+        worst = max(worst, t - ideal)
+    return worst

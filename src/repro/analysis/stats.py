@@ -1,0 +1,74 @@
+"""Replication statistics: mean, deviation and confidence intervals.
+
+Simulation results depend on the stochastic sample path (Pareto on/off
+timings, Poisson arrivals); sound reporting runs several seeds and quotes
+a confidence interval. These helpers implement the standard Student-t
+machinery without external dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ReplicationSummary", "summarize_replications", "t_critical"]
+
+# Two-sided 95% Student-t critical values by degrees of freedom (1..30);
+# beyond 30 the normal approximation (1.96) is within 2%.
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t_critical(df: int) -> float:
+    """Two-sided 95% Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ConfigurationError("degrees of freedom must be >= 1")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean, sample deviation and a 95% CI over replications."""
+
+    n: int
+    mean: float
+    stddev: float
+    ci95: float  # half-width; interval is mean +/- ci95
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def summarize_replications(values: Sequence[float]) -> ReplicationSummary:
+    """Summarise per-seed results with a Student-t 95% CI.
+
+    A single replication yields a zero-width interval (no variance
+    information) — run more seeds for a meaningful CI.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        raise ConfigurationError("no replications to summarise")
+    n = len(xs)
+    mean = sum(xs) / n
+    if n == 1:
+        return ReplicationSummary(1, mean, 0.0, 0.0)
+    var = sum((x - mean) ** 2 for x in xs) / (n - 1)
+    std = math.sqrt(var)
+    ci = t_critical(n - 1) * std / math.sqrt(n)
+    return ReplicationSummary(n, mean, std, ci)

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment prints its results as an aligned ASCII table (the same
+rows the paper's tables/figures report), so benches are readable both in
+CI logs and in the terminal. No external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _fmt(value, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned table with a header rule.
+
+    Floats are fixed to ``precision`` decimals; everything else is
+    ``str()``-ed. Column widths adapt to content.
+    """
+    str_rows: List[List[str]] = [
+        [_fmt(v, precision) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> None:
+    """``print(format_table(...))`` with a leading blank line."""
+    print()
+    print(format_table(headers, rows, title=title, precision=precision))

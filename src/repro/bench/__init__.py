@@ -1,0 +1,63 @@
+"""The experiment harness regenerating every table/figure (see DESIGN.md).
+
+``python -m repro.bench e3`` reruns experiment E3, ``--quick`` shrinks
+simulation scale. The same functions back the pytest-benchmark suite in
+``benchmarks/``.
+"""
+
+from .experiments import (
+    e1_wss_properties,
+    e2_smoothness,
+    e3_end_to_end_delay,
+    e4_delay_vs_n,
+    e5_scheduling_cost,
+    e6_fairness,
+    e7_guarantees,
+    e8_g3_comparison,
+    e9_space_time,
+    e10_bound_validation,
+    e11_variable_packet_sizes,
+    e12_admission_quotes,
+)
+from .runner import EXPERIMENTS, run_experiment
+from .scenarios import (
+    BOTTLENECK_BPS,
+    MTU,
+    WEIGHT_UNIT_BPS,
+    dumbbell_network,
+    single_bottleneck_network,
+)
+from .workloads import (
+    build_loaded_scheduler,
+    geometric_weights,
+    ops_per_packet,
+    service_sequence,
+    uniform_weights,
+)
+
+__all__ = [
+    "BOTTLENECK_BPS",
+    "EXPERIMENTS",
+    "MTU",
+    "WEIGHT_UNIT_BPS",
+    "build_loaded_scheduler",
+    "dumbbell_network",
+    "e10_bound_validation",
+    "e11_variable_packet_sizes",
+    "e12_admission_quotes",
+    "e1_wss_properties",
+    "e2_smoothness",
+    "e3_end_to_end_delay",
+    "e4_delay_vs_n",
+    "e5_scheduling_cost",
+    "e6_fairness",
+    "e7_guarantees",
+    "e8_g3_comparison",
+    "e9_space_time",
+    "geometric_weights",
+    "ops_per_packet",
+    "run_experiment",
+    "service_sequence",
+    "single_bottleneck_network",
+    "uniform_weights",
+]

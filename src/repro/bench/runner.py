@@ -1,0 +1,97 @@
+"""Experiment registry + CLI (``python -m repro.bench <experiment>``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from ..core.errors import ConfigurationError
+from . import experiments
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: Dict[str, Callable[..., Dict]] = {
+    "e1": experiments.e1_wss_properties,
+    "e2": experiments.e2_smoothness,
+    "e3": experiments.e3_end_to_end_delay,
+    "e4": experiments.e4_delay_vs_n,
+    "e5": experiments.e5_scheduling_cost,
+    "e6": experiments.e6_fairness,
+    "e7": experiments.e7_guarantees,
+    "e8": experiments.e8_g3_comparison,
+    "e9": experiments.e9_space_time,
+    "e10": experiments.e10_bound_validation,
+    "e11": experiments.e11_variable_packet_sizes,
+    "e12": experiments.e12_admission_quotes,
+}
+
+_DESCRIPTIONS = {
+    "e1": "WSS definition table and properties",
+    "e2": "service-order smoothness: SRR vs WRR/DRR/RR",
+    "e3": "end-to-end delay in the Fig. 8 dumbbell",
+    "e4": "delay vs number of flows N (Theorem 1 shape)",
+    "e5": "per-packet scheduling cost vs N (the O(1) claim)",
+    "e6": "weighted fairness indices, saturated node",
+    "e7": "throughput guarantees under best-effort overload",
+    "e8": "[ext] G-3 vs SRR vs RRR (follow-on Fig. 9)",
+    "e9": "space-time tradeoffs (WSS storage, TArray expansion)",
+    "e10": "measured delay vs analytic bounds",
+    "e11": "variable packet sizes: packet vs deficit mode byte fairness",
+    "e12": "admission control: per-discipline delay quotes + validation",
+}
+
+
+def run_experiment(name: str, **kwargs) -> Dict:
+    """Run one experiment by id (``"e1"`` .. ``"e12"``)."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(**kwargs)
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point: run one experiment, or ``all``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the SRR reproduction's tables and figures.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="experiments:\n" + "\n".join(
+            f"  {name:4s} {_DESCRIPTIONS[name]}" for name in EXPERIMENTS
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (see list below) or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced scale (shorter simulations, fewer background flows)",
+    )
+    args = parser.parse_args(argv)
+
+    quick_overrides: Dict[str, Dict] = {
+        "e3": {"duration": 3.0, "n_background": 100},
+        "e4": {"n_values": (16, 64, 128), "duration": 2.0},
+        "e5": {"n_values": (16, 256, 2048), "measure": 1500},
+        "e7": {"duration": 3.0, "n_background": 50},
+        "e8": {"duration": 3.0, "n_background": 100},
+        "e10": {"n_flows": 16, "rounds": 12},
+        "e12": {"validate": False},
+    }
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    # 'all' in natural order e1..e10, not lexicographic.
+    names.sort(key=lambda n: int(n[1:]))
+    for name in names:
+        kwargs = quick_overrides.get(name, {}) if args.quick else {}
+        run_experiment(name, **kwargs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

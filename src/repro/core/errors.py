@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while letting programming errors (``TypeError``,
+``KeyError`` from misuse of internals, …) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class FlowError(ReproError):
+    """A flow-level operation failed (unknown flow, duplicate flow, ...)."""
+
+
+class UnknownFlowError(FlowError):
+    """An operation referenced a flow id that is not registered."""
+
+    def __init__(self, flow_id: object) -> None:
+        super().__init__(f"unknown flow id: {flow_id!r}")
+        self.flow_id = flow_id
+
+
+class DuplicateFlowError(FlowError):
+    """``add_flow`` was called with a flow id that is already registered."""
+
+    def __init__(self, flow_id: object) -> None:
+        super().__init__(f"flow id already registered: {flow_id!r}")
+        self.flow_id = flow_id
+
+
+class InvalidWeightError(FlowError):
+    """A flow weight is outside the scheduler's accepted domain."""
+
+
+class AdmissionError(ReproError):
+    """A reservation could not be admitted (insufficient free capacity)."""
+
+
+class CapacityError(ConfigurationError):
+    """A link or scheduler capacity parameter is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistent state."""

@@ -1,0 +1,212 @@
+"""Hierarchical link sharing: schedulers composed into a class tree.
+
+Multi-service networks allocate the link to *classes* (tenants, service
+tiers) before flows: e.g. 60% to voice, 30% to data, 10% to best effort,
+with per-flow scheduling inside each class. The classic construction
+(H-PFQ/H-WFQ, CBQ) composes per-node schedulers into a tree.
+
+:class:`HierarchicalScheduler` implements the composition generically
+over this repository's :class:`~repro.core.interfaces.PacketScheduler`
+interface using the standard *shadow token* technique:
+
+* the root scheduler sees one pseudo-flow per class; every real packet
+  enqueued into a class also enqueues a same-size shadow token for that
+  class at the root;
+* ``dequeue`` first asks the root which class owns the next slot (its
+  token), then asks that class's child scheduler for the actual packet.
+
+Because tokens mirror real packets one-to-one (count and size), the root
+always selects a class with a real packet available, and each class's
+aggregate service follows the root discipline exactly while intra-class
+order follows the child discipline. Any registered discipline works at
+either level — an SRR root over SRR children gives O(1) hierarchical
+link sharing, which is the configuration the example exercises.
+
+Single-level nesting covers the experiments here; deeper trees compose
+by using another ``HierarchicalScheduler`` as a child.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Dict, Hashable, Iterable, Optional
+
+from .errors import ConfigurationError, DuplicateFlowError, UnknownFlowError
+from .interfaces import PacketScheduler
+from .packet import Packet
+
+__all__ = ["HierarchicalScheduler"]
+
+
+class HierarchicalScheduler(PacketScheduler):
+    """A two-level class tree over arbitrary member schedulers.
+
+    Args:
+        root: Scheduler arbitrating between classes (each class is one
+            flow of this scheduler, registered with the class weight).
+        children: Mapping class id -> scheduler handling that class's
+            flows. Child weights are interpreted by the child discipline.
+
+    Flows are addressed as usual by flow id; :meth:`add_flow` takes the
+    extra ``class_id`` argument naming the parent class.
+    """
+
+    name: ClassVar[str] = "hierarchical"
+
+    def __init__(
+        self,
+        root: PacketScheduler,
+        children: Optional[Dict[Hashable, PacketScheduler]] = None,
+    ) -> None:
+        self._root = root
+        self._children: Dict[Hashable, PacketScheduler] = {}
+        self._class_of: Dict[Hashable, Hashable] = {}
+        if children:
+            for class_id, child in children.items():
+                self.add_class(class_id, 1, scheduler=child)
+
+    # -- class management --------------------------------------------------
+
+    def add_class(
+        self,
+        class_id: Hashable,
+        weight: float = 1,
+        *,
+        scheduler: PacketScheduler,
+    ) -> None:
+        """Register a class with its aggregate ``weight`` and scheduler."""
+        if class_id in self._children:
+            raise ConfigurationError(f"class {class_id!r} already exists")
+        if scheduler is self._root or scheduler is self:
+            raise ConfigurationError("a class cannot be its own parent")
+        self._root.add_flow(class_id, weight)
+        self._children[class_id] = scheduler
+
+    def remove_class(self, class_id: Hashable) -> int:
+        """Remove a class and all its flows; returns packets dropped."""
+        child = self._children.pop(class_id, None)
+        if child is None:
+            raise ConfigurationError(f"unknown class {class_id!r}")
+        dropped = child.backlog
+        for fid in list(child.flow_ids()):
+            child.remove_flow(fid)
+            del self._class_of[fid]
+        self._root.remove_flow(class_id)
+        return dropped
+
+    def class_ids(self) -> Iterable[Hashable]:
+        """Registered class ids."""
+        return self._children.keys()
+
+    def child(self, class_id: Hashable) -> PacketScheduler:
+        """The scheduler serving ``class_id``."""
+        try:
+            return self._children[class_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown class {class_id!r}") from None
+
+    # -- PacketScheduler interface ------------------------------------------
+
+    def add_flow(
+        self,
+        flow_id: Hashable,
+        weight: float = 1,
+        *,
+        class_id: Hashable = None,
+        max_queue: Optional[int] = None,
+    ) -> None:
+        if class_id is None:
+            raise ConfigurationError(
+                "HierarchicalScheduler.add_flow requires class_id="
+            )
+        if flow_id in self._class_of:
+            raise DuplicateFlowError(flow_id)
+        child = self.child(class_id)
+        child.add_flow(flow_id, weight, max_queue=max_queue)
+        self._class_of[flow_id] = class_id
+
+    def remove_flow(self, flow_id: Hashable) -> int:
+        class_id = self._class_of.pop(flow_id, None)
+        if class_id is None:
+            raise UnknownFlowError(flow_id)
+        child = self._children[class_id]
+        # Remove the child's packets AND the matching shadow tokens: the
+        # child reports how many packets it dropped; the class's token
+        # flow is rebuilt to mirror what is still queued.
+        dropped = child.remove_flow(flow_id)
+        self._rebuild_tokens(class_id, dropped)
+        return dropped
+
+    def _rebuild_tokens(self, class_id: Hashable, dropped: int) -> None:
+        """Resynchronise the root's shadow tokens with a class's queues.
+
+        The root has no 'remove k packets of flow x' primitive, so the
+        class's pseudo-flow is removed and re-added, then one token per
+        still-queued packet (with its real size, so byte-based root
+        disciplines keep exact accounting) is re-enqueued.
+        """
+        if dropped == 0:
+            return
+        child = self._children[class_id]
+        weight = self._class_weight(class_id)
+        self._root.remove_flow(class_id)
+        self._root.add_flow(class_id, weight)
+        sizes = []
+        flow_state = getattr(child, "flow_state", None)
+        if flow_state is not None:
+            for fid in child.flow_ids():
+                sizes.extend(p.size for p in flow_state(fid).queue)
+        else:
+            sizes = [1] * child.backlog
+        for size in sizes:
+            self._root.enqueue(Packet(class_id, size))
+
+    def _class_weight(self, class_id: Hashable) -> float:
+        # FlowTableScheduler roots expose flow_state; fall back to 1.
+        state = getattr(self._root, "flow_state", None)
+        if state is not None:
+            return self._root.flow_state(class_id).weight
+        return 1
+
+    def enqueue(self, packet: Packet) -> bool:
+        class_id = self._class_of.get(packet.flow_id)
+        if class_id is None:
+            raise UnknownFlowError(packet.flow_id)
+        child = self._children[class_id]
+        if not child.enqueue(packet):
+            return False
+        token = Packet(class_id, packet.size)
+        token.enqueued_at = packet.enqueued_at
+        accepted = self._root.enqueue(token)
+        assert accepted, "root token queue must be unbounded"
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        token = self._root.dequeue()
+        if token is None:
+            return None
+        child = self._children[token.flow_id]
+        packet = child.dequeue()
+        assert packet is not None, "token without a matching packet"
+        return packet
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        return sum(child.backlog for child in self._children.values())
+
+    @property
+    def backlog_bytes(self) -> int:
+        return sum(child.backlog_bytes for child in self._children.values())
+
+    def has_flow(self, flow_id: Hashable) -> bool:
+        return flow_id in self._class_of
+
+    def flow_ids(self) -> Iterable[Hashable]:
+        return self._class_of.keys()
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalScheduler(root={type(self._root).__name__}, "
+            f"classes={len(self._children)}, backlog={self.backlog})"
+        )

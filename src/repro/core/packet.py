@@ -1,0 +1,66 @@
+"""The packet record shared by schedulers and the network simulator.
+
+A :class:`Packet` is intentionally a plain mutable record rather than an
+immutable value: the simulator stamps arrival/departure times onto it as it
+traverses the network, mirroring how ns-2 annotates packet headers.
+
+Sizes are in **bytes**; times are in **seconds** (simulation time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+#: Process-wide source of unique packet uids (monotonically increasing).
+_uid_counter = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A single packet.
+
+    Attributes:
+        flow_id: Identifier of the flow this packet belongs to. Any hashable
+            value works; experiments typically use small ints or strings.
+        size: Packet size in bytes (payload + headers; the simulator only
+            ever needs the wire size).
+        created_at: Simulation time at which the source generated the packet.
+        seq: Per-flow sequence number assigned by the source (0-based).
+        src: Optional source node name (simulator bookkeeping).
+        dst: Optional destination node name (used by routing).
+        enqueued_at: Time the packet entered the *current* queue; refreshed
+            at every hop by the output port.
+        dequeued_at: Time the packet was last selected for transmission.
+        delivered_at: Time the packet reached its final sink (set once).
+        uid: Globally unique id, useful for tracing and tie-breaking.
+    """
+
+    flow_id: Hashable
+    size: int
+    created_at: float = 0.0
+    seq: int = 0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    enqueued_at: float = 0.0
+    dequeued_at: float = 0.0
+    delivered_at: Optional[float] = None
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def delay(self) -> Optional[float]:
+        """End-to-end delay if the packet has been delivered, else ``None``."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+    def __repr__(self) -> str:  # compact; packets appear in large traces
+        return (
+            f"Packet(flow={self.flow_id!r}, size={self.size}, "
+            f"seq={self.seq}, t0={self.created_at:.6f})"
+        )

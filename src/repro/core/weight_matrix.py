@@ -1,0 +1,213 @@
+"""The SRR Weight Matrix (WM).
+
+The paper's WM (Eq. 3) has one row per active flow and one column per
+binary digit of the weights: entry ``a[i][j]`` is bit ``j`` of flow ``i``'s
+weight. SRR never stores the matrix densely — what the scheduler needs is,
+for each column ``j``, the list of flows whose weight has bit ``j`` set.
+
+This module implements exactly that: an array of intrusive doubly-linked
+lists (sentinel-based), one per column, with
+
+* O(1) insert of a flow into all its columns (one node per set bit,
+  pre-allocated on the flow),
+* O(1) unlink per node when a flow leaves (drained or deleted),
+* O(1) maintenance of the *matrix order* — the index of the highest
+  non-empty column plus one — via a bitmask of non-empty columns. SRR
+  scans ``WSS^order``, and term value ``v`` selects column ``order - v``;
+  keeping ``order`` tight guarantees that term value 1 (every other WSS
+  position) always lands on a non-empty column, which is what bounds the
+  number of idle scan steps between services to one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .errors import ConfigurationError
+from .flow import ColumnNode, FlowState
+from .opcount import NULL_COUNTER, OpCounter
+
+__all__ = ["ColumnList", "WeightMatrix"]
+
+
+class ColumnList:
+    """One WM column: a sentinel-based intrusive doubly-linked flow list."""
+
+    __slots__ = ("index", "head", "tail", "size")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        # Sentinels carry no flow; real nodes always sit between them.
+        self.head = ColumnNode(None, index)
+        self.tail = ColumnNode(None, index)
+        self.head.next = self.tail
+        self.tail.prev = self.head
+        self.size = 0
+
+    def append(self, node: ColumnNode) -> None:
+        """Link ``node`` before the tail sentinel (O(1))."""
+        if node.linked:
+            raise ConfigurationError(f"{node!r} is already linked")
+        last = self.tail.prev
+        assert last is not None
+        last.next = node
+        node.prev = last
+        node.next = self.tail
+        self.tail.prev = node
+        node.linked = True
+        self.size += 1
+
+    def unlink(self, node: ColumnNode) -> None:
+        """Remove ``node`` from the list (O(1))."""
+        if not node.linked:
+            raise ConfigurationError(f"{node!r} is not linked")
+        prev, nxt = node.prev, node.next
+        assert prev is not None and nxt is not None
+        prev.next = nxt
+        nxt.prev = prev
+        node.prev = node.next = None
+        node.linked = False
+        self.size -= 1
+
+    @property
+    def empty(self) -> bool:
+        return self.size == 0
+
+    def first(self) -> ColumnNode:
+        """First real node, or the tail sentinel when empty."""
+        nxt = self.head.next
+        assert nxt is not None
+        return nxt
+
+    def __iter__(self) -> Iterator[FlowState]:
+        node = self.head.next
+        while node is not self.tail:
+            assert node is not None and node.flow is not None
+            yield node.flow
+            node = node.next
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"ColumnList(index={self.index}, size={self.size})"
+
+
+class WeightMatrix:
+    """Column lists + order tracking for SRR.
+
+    Args:
+        max_order: Number of columns to pre-allocate (weights must satisfy
+            ``weight.bit_length() <= max_order``). 62 columns cost nothing
+            and accept any sane weight, so that is the default.
+        op_counter: Optional :class:`OpCounter` bumped once per elementary
+            linked-list operation (used by experiment E5).
+    """
+
+    def __init__(
+        self,
+        max_order: int = 62,
+        *,
+        op_counter: OpCounter = NULL_COUNTER,
+    ) -> None:
+        if not 1 <= max_order <= 62:
+            raise ConfigurationError(
+                f"max_order must be in 1..62, got {max_order}"
+            )
+        self.max_order = max_order
+        self.columns: List[ColumnList] = [
+            ColumnList(j) for j in range(max_order)
+        ]
+        self._nonempty_mask = 0
+        self._flow_count = 0
+        self._ops = op_counter
+
+    # -- membership ------------------------------------------------------
+
+    def insert(self, flow: FlowState) -> None:
+        """Link ``flow`` into every column named by a set bit of its weight."""
+        if flow.weight.bit_length() > self.max_order:
+            raise ConfigurationError(
+                f"weight {flow.weight} needs "
+                f"{flow.weight.bit_length()} columns, matrix has {self.max_order}"
+            )
+        for bit, node in flow.nodes.items():
+            column = self.columns[bit]
+            column.append(node)
+            self._nonempty_mask |= 1 << bit
+            self._ops.bump()
+        self._flow_count += 1
+
+    def remove(self, flow: FlowState) -> None:
+        """Unlink ``flow`` from all its columns (flow must be inserted)."""
+        for bit, node in flow.nodes.items():
+            column = self.columns[bit]
+            column.unlink(node)
+            if column.empty:
+                self._nonempty_mask &= ~(1 << bit)
+            self._ops.bump()
+        self._flow_count -= 1
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Index of the highest non-empty column, plus one (0 when empty).
+
+        This is the WSS order SRR must scan with: term value 1 then maps
+        to the highest non-empty column.
+        """
+        return self._nonempty_mask.bit_length()
+
+    @property
+    def empty(self) -> bool:
+        return self._nonempty_mask == 0
+
+    @property
+    def flow_count(self) -> int:
+        """Number of flows currently linked into the matrix."""
+        return self._flow_count
+
+    def column(self, index: int) -> ColumnList:
+        """The column list at ``index`` (0-based, 0 = least significant bit)."""
+        return self.columns[index]
+
+    def column_population(self, index: int) -> int:
+        """Number of flows with bit ``index`` set (the paper's ``y_j``)."""
+        return self.columns[index].size
+
+    def check_invariants(self) -> None:
+        """Verify internal consistency (test helper; O(total nodes))."""
+        mask = 0
+        count_nodes = 0
+        for column in self.columns:
+            n = 0
+            node = column.head.next
+            prev = column.head
+            while node is not column.tail:
+                assert node is not None
+                if node.prev is not prev:
+                    raise AssertionError(f"broken prev link in {column!r}")
+                if not node.linked:
+                    raise AssertionError(f"unlinked node reachable in {column!r}")
+                if node.flow is None:
+                    raise AssertionError(f"sentinel reachable mid-list in {column!r}")
+                prev, node = node, node.next
+                n += 1
+            if n != column.size:
+                raise AssertionError(
+                    f"{column!r} size {column.size} but {n} reachable nodes"
+                )
+            if n:
+                mask |= 1 << column.index
+            count_nodes += n
+        if mask != self._nonempty_mask:
+            raise AssertionError(
+                f"nonempty mask {self._nonempty_mask:b} != recomputed {mask:b}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightMatrix(order={self.order}, flows={self._flow_count}, "
+            f"max_order={self.max_order})"
+        )

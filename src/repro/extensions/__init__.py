@@ -1,0 +1,42 @@
+"""The author's follow-on schedulers (RRR, G-3) and their data structures.
+
+These are *extensions*: the titled paper's contribution is SRR
+(:mod:`repro.core`); RRR is the prior scheduler G-3 borrows its trees
+from, and G-3 is the author's later combination of SRR's WSS with those
+trees. They are implemented here (a) as additional comparators for the
+benchmark suite (experiment E8 reproduces the supplied text's Fig. 9) and
+(b) because they exercise the WSS machinery from a second angle.
+
+Importing this package registers ``"rrr"`` and ``"g3"`` in the scheduler
+registry.
+"""
+
+from ..schedulers.registry import register_scheduler
+from .g3 import G3Scheduler
+from .pwbt import PWBTAllocator
+from .rrr import RRRScheduler
+from .tarray import TimeSlotArray
+from .tss import (
+    first_slot_after,
+    node_slot_positions,
+    reverse_bits,
+    tss_sequence,
+    tss_sequence_recursive,
+    tss_term,
+)
+
+register_scheduler(G3Scheduler.name, G3Scheduler)
+register_scheduler(RRRScheduler.name, RRRScheduler)
+
+__all__ = [
+    "G3Scheduler",
+    "PWBTAllocator",
+    "RRRScheduler",
+    "TimeSlotArray",
+    "first_slot_after",
+    "node_slot_positions",
+    "reverse_bits",
+    "tss_sequence",
+    "tss_sequence_recursive",
+    "tss_term",
+]

@@ -1,0 +1,343 @@
+"""Perfect Weighted Binary Tree (PWBT) slot allocation — a buddy allocator.
+
+The RRR/G-3 extensions carve an output link of ``2^n`` unit time-slots
+into binary blocks: tree node ``v(l, i)`` stands for the block of
+``2^(n-l)`` consecutive slots starting at ``i * 2^(n-l)``. Allocating a
+node to a flow, *splitting* a too-large node, and *merging* freed sibling
+nodes (the paper's ``split``/``merge``/``List_l`` machinery) are exactly
+the operations of a classical binary buddy allocator, which is how this
+module implements them:
+
+* free blocks are kept in per-exponent free lists (``List_l`` of the
+  paper holds the free nodes of weight ``2^l``);
+* ``allocate(e)`` takes the smallest sufficient free block and splits it
+  down, pushing the peeled-off buddies onto their free lists;
+* ``free(...)`` coalesces with the buddy block whenever the buddy is
+  free, walking up the tree.
+
+The module also provides the *shaping* primitive the G-3 paper sketches
+(Fig. 6) to fight fragmentation: :meth:`PWBTAllocator.relocate` moves an
+allocated block (or a subdivided block's entire contents) onto a free
+block of equal size so that buddies can merge. The G-3 scheduler performs
+the corresponding Time-Slot Array rewrites.
+
+Block <-> node correspondence used throughout: block ``(offset, e)``
+(``offset`` aligned to ``2^e``) is node ``v(n - e, offset >> e)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..core.errors import AdmissionError, ConfigurationError
+
+__all__ = ["Block", "PWBTAllocator"]
+
+#: An allocated block: (offset, exponent). The block spans
+#: ``[offset, offset + 2**exponent)`` leaf slots.
+Block = Tuple[int, int]
+
+
+class PWBTAllocator:
+    """Buddy allocator over the ``2^depth`` leaf slots of one PWBT.
+
+    Args:
+        depth: Tree depth ``n``; the root represents ``2^n`` unit slots.
+
+    The allocator tracks owners so the G-3/RRR schedulers can enumerate a
+    flow's blocks and so invariants are checkable.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if not 0 <= depth <= 30:
+            raise ConfigurationError(
+                f"PWBT depth must be in 0..30, got {depth}"
+            )
+        self.depth = depth
+        self.size = 1 << depth
+        # exponent -> set of free block offsets (each aligned to 2^e).
+        self._free: Dict[int, Set[int]] = {e: set() for e in range(depth + 1)}
+        self._free[depth].add(0)
+        # offset -> (exponent, owner) for allocated blocks.
+        self._allocated: Dict[int, Tuple[int, Hashable]] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def free_slots(self) -> int:
+        """Total unallocated unit slots."""
+        return sum((1 << e) * len(offs) for e, offs in self._free.items())
+
+    @property
+    def allocated_slots(self) -> int:
+        """Total allocated unit slots."""
+        return self.size - self.free_slots
+
+    def free_blocks(self, exponent: int) -> List[int]:
+        """Sorted offsets of the free blocks of size ``2^exponent``
+        (the paper's ``List_exponent``)."""
+        return sorted(self._free[exponent])
+
+    def largest_free_exponent(self) -> Optional[int]:
+        """Largest ``e`` with a free block, or ``None`` when full."""
+        for e in range(self.depth, -1, -1):
+            if self._free[e]:
+                return e
+        return None
+
+    def has_free(self, exponent: int) -> bool:
+        """True when a block of size >= ``2^exponent`` is free."""
+        return any(self._free[e] for e in range(exponent, self.depth + 1))
+
+    def owner_at(self, slot: int) -> Optional[Hashable]:
+        """Owner of the allocated block covering unit ``slot`` (or None)."""
+        if not 0 <= slot < self.size:
+            raise ConfigurationError(f"slot {slot} outside tree")
+        for e in range(self.depth + 1):
+            offset = slot & ~((1 << e) - 1)
+            entry = self._allocated.get(offset)
+            if entry is not None and entry[0] == e:
+                return entry[1]
+        return None
+
+    def allocation_at(self, offset: int) -> Optional[Tuple[int, Hashable]]:
+        """``(exponent, owner)`` if a block is allocated exactly at
+        ``offset``, else ``None`` (the tree-walk primitive RRR needs)."""
+        return self._allocated.get(offset)
+
+    def is_free_block(self, offset: int, exponent: int) -> bool:
+        """True when block ``(offset, exponent)`` is on the free list."""
+        return offset in self._free[exponent]
+
+    def allocations(self) -> List[Tuple[int, int, Hashable]]:
+        """All allocated blocks as ``(offset, exponent, owner)``, sorted."""
+        return sorted(
+            (off, e, owner) for off, (e, owner) in self._allocated.items()
+        )
+
+    def allocations_within(self, offset: int, exponent: int):
+        """Allocated blocks fully inside block ``(offset, exponent)``."""
+        end = offset + (1 << exponent)
+        return [
+            (off, e, owner)
+            for off, (e, owner) in sorted(self._allocated.items())
+            if offset <= off and off + (1 << e) <= end
+        ]
+
+    # -- allocate / free ---------------------------------------------------
+
+    def allocate(self, exponent: int, owner: Hashable) -> int:
+        """Allocate a block of ``2^exponent`` slots to ``owner``.
+
+        Implements the paper's ``get_free_node`` + ``split``: the smallest
+        sufficient free block is split down to the requested size, its
+        peeled-off halves joining their free lists.
+
+        Returns:
+            The block offset.
+
+        Raises:
+            AdmissionError: when no free block of sufficient size exists
+                (the paper's ``Add_flow`` failure).
+        """
+        if not 0 <= exponent <= self.depth:
+            raise ConfigurationError(
+                f"exponent {exponent} outside 0..{self.depth}"
+            )
+        for e in range(exponent, self.depth + 1):
+            if self._free[e]:
+                offset = min(self._free[e])  # deterministic choice
+                self._free[e].discard(offset)
+                # Split down: release the upper buddy at each level.
+                while e > exponent:
+                    e -= 1
+                    self._free[e].add(offset + (1 << e))
+                self._allocated[offset] = (exponent, owner)
+                return offset
+        raise AdmissionError(
+            f"no free block of 2^{exponent} slots "
+            f"(free={self.free_slots}/{self.size}, fragmented)"
+        )
+
+    def allocate_at(self, offset: int, exponent: int, owner: Hashable) -> None:
+        """Allocate the specific *free* block ``(offset, exponent)``.
+
+        Used by shaping/relocation; the block must currently be on the
+        free list of exactly this exponent.
+        """
+        if offset not in self._free[exponent]:
+            raise ConfigurationError(
+                f"block (offset={offset}, e={exponent}) is not free"
+            )
+        self._free[exponent].discard(offset)
+        self._allocated[offset] = (exponent, owner)
+
+    def free(self, offset: int, exponent: int) -> None:
+        """Release block ``(offset, exponent)``, coalescing with free
+        buddies (the paper's ``merge``)."""
+        entry = self._allocated.pop(offset, None)
+        if entry is None or entry[0] != exponent:
+            if entry is not None:
+                self._allocated[offset] = entry
+            raise ConfigurationError(
+                f"block (offset={offset}, e={exponent}) is not allocated"
+            )
+        e = exponent
+        while e < self.depth:
+            buddy = offset ^ (1 << e)
+            if buddy not in self._free[e]:
+                break
+            self._free[e].discard(buddy)
+            offset &= ~(1 << e)
+            e += 1
+        self._free[e].add(offset)
+
+    def relocate(self, src: Block, dst: Block) -> List[Tuple[int, int, Hashable]]:
+        """Move the entire contents of block ``src`` onto free block ``dst``
+        (both within this allocator).
+
+        Both blocks must have the same exponent; ``dst`` must be free.
+        ``src`` may be allocated whole or subdivided — every allocated
+        sub-block is re-created at the same relative position inside
+        ``dst`` (this is the shaping *swapping* step of the paper's
+        Fig. 6, generalised to subdivided siblings).
+
+        Returns:
+            The moved blocks as ``(new_offset, exponent, owner)`` so the
+            caller (G-3) can rewrite its Time-Slot Arrays.
+        """
+        src_off, e = src
+        dst_off, dst_e = dst
+        if e != dst_e:
+            raise ConfigurationError("relocate requires equal-size blocks")
+        contents = self.extract_region(src_off, e)
+        self.implant_region(dst_off, dst_e, contents)
+        return [
+            (dst_off + rel, sub_e, owner) for rel, sub_e, owner in contents
+        ]
+
+    def extract_region(
+        self, offset: int, exponent: int
+    ) -> List[Tuple[int, int, Hashable]]:
+        """Remove every allocation inside block ``(offset, exponent)`` and
+        coalesce the region into free space.
+
+        Returns the removed contents as ``(relative_offset, exponent,
+        owner)`` — the shape ``implant_region`` (on this or another
+        allocator) reproduces. Used by G-3's cross-tree shaping moves.
+        """
+        self._check_region(offset, exponent)
+        contents = []
+        for off, sub_e, owner in self.allocations_within(offset, exponent):
+            del self._allocated[off]
+            self._free[sub_e].add(off)
+            contents.append((off - offset, sub_e, owner))
+        self._coalesce_region(offset, exponent)
+        return contents
+
+    def implant_region(
+        self,
+        offset: int,
+        exponent: int,
+        contents: List[Tuple[int, int, Hashable]],
+    ) -> None:
+        """Recreate extracted ``contents`` inside free block
+        ``(offset, exponent)``: allocate each sub-block at its relative
+        position and leave the gaps as properly buddy-decomposed free
+        blocks."""
+        self._check_region(offset, exponent)
+        if offset not in self._free[exponent]:
+            raise ConfigurationError(
+                f"destination block (offset={offset}, e={exponent}) is not free"
+            )
+        self._free[exponent].discard(offset)
+        allocated = []
+        for rel, sub_e, owner in contents:
+            if rel % (1 << sub_e) or rel + (1 << sub_e) > (1 << exponent):
+                raise ConfigurationError(
+                    f"content block (rel={rel}, e={sub_e}) does not fit"
+                )
+            self._allocated[offset + rel] = (sub_e, owner)
+            allocated.append((offset + rel, sub_e))
+        self._free_gaps(offset, exponent, sorted(allocated))
+
+    def _free_gaps(
+        self, offset: int, exponent: int, allocated: List[Tuple[int, int]]
+    ) -> None:
+        """Add the unallocated parts of a region to the free lists as
+        maximal aligned blocks (recursive buddy decomposition)."""
+        end = offset + (1 << exponent)
+        inside = [
+            (off, e) for off, e in allocated if offset <= off < end
+        ]
+        if not inside:
+            self._free[exponent].add(offset)
+            return
+        if len(inside) == 1 and inside[0] == (offset, exponent):
+            return  # fully covered by one allocation
+        half = exponent - 1
+        mid = offset + (1 << half)
+        self._free_gaps(offset, half, [b for b in inside if b[0] < mid])
+        self._free_gaps(mid, half, [b for b in inside if b[0] >= mid])
+
+    def _check_region(self, offset: int, exponent: int) -> None:
+        if not 0 <= exponent <= self.depth:
+            raise ConfigurationError(f"bad exponent {exponent}")
+        if offset % (1 << exponent) or not 0 <= offset < self.size:
+            raise ConfigurationError(
+                f"bad region offset {offset} for exponent {exponent}"
+            )
+
+    # -- internals ---------------------------------------------------------
+
+    def _coalesce_region(self, offset: int, exponent: int) -> None:
+        """Merge all free sub-blocks of region ``(offset, exponent)`` into
+        one free block (the region must be fully free)."""
+        end = offset + (1 << exponent)
+        # Drop every free sub-block inside the region...
+        for sub_e in range(exponent + 1):
+            for off in list(self._free[sub_e]):
+                if offset <= off < end:
+                    self._free[sub_e].discard(off)
+        # ...and re-add the region as one block, coalescing upward with
+        # buddies outside the region.
+        e = exponent
+        while e < self.depth:
+            buddy = offset ^ (1 << e)
+            if buddy not in self._free[e]:
+                break
+            self._free[e].discard(buddy)
+            offset &= ~(1 << e)
+            e += 1
+        self._free[e].add(offset)
+
+    def check_invariants(self) -> None:
+        """Verify the partition property (test helper; O(size))."""
+        covered = [0] * self.size
+        for off, (e, _owner) in self._allocated.items():
+            if off % (1 << e):
+                raise AssertionError(f"misaligned allocation ({off}, {e})")
+            for s in range(off, off + (1 << e)):
+                covered[s] += 1
+        for e, offs in self._free.items():
+            for off in offs:
+                if off % (1 << e):
+                    raise AssertionError(f"misaligned free block ({off}, {e})")
+                for s in range(off, off + (1 << e)):
+                    covered[s] += 1
+        bad = [s for s, c in enumerate(covered) if c != 1]
+        if bad:
+            raise AssertionError(f"slots not covered exactly once: {bad[:10]}")
+        # No two free buddies may coexist (they should have merged).
+        for e in range(self.depth):
+            for off in self._free[e]:
+                if (off ^ (1 << e)) in self._free[e]:
+                    raise AssertionError(
+                        f"unmerged free buddies at exponent {e}: {off}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"PWBTAllocator(depth={self.depth}, "
+            f"free={self.free_slots}/{self.size})"
+        )

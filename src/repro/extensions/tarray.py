@@ -1,0 +1,142 @@
+"""Time-Slot Array (TArray) — the flattened, pre-spread PWBT of G-3.
+
+``TArray^n[p]`` holds the id of the flow owning leaf ``v(n, RB(p, n))`` of
+the depth-``n`` PWBT: reading the array left to right reproduces exactly
+the service order of RRR's flip-bit tree walk, but each lookup is a single
+array read — this is how G-3 removes RRR's O(depth) per-slot cost.
+
+Updating the array when a block ``(offset, e)`` changes owner touches the
+``2^(n-l)`` evenly spaced positions of Lemma 5 (stride ``2^l`` where
+``l = n - e``); :meth:`TimeSlotArray.write_block` performs that comb
+write. The paper notes the update can be pipelined ahead of the running
+schedule pointer (``first_slot_after``); the simulator applies updates
+atomically between slots, which is behaviourally equivalent at slot
+granularity.
+
+The paper's space-time tradeoff for very deep trees (expand only the top
+``t`` levels into the array and walk the remaining ``n - t`` levels) is
+provided by the ``expanded_levels`` parameter and ablated in E9.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from ..core.errors import ConfigurationError
+from .tss import node_slot_positions, reverse_bits
+
+__all__ = ["TimeSlotArray"]
+
+
+class TimeSlotArray:
+    """The spread representation of one depth-``n`` PWBT.
+
+    Args:
+        depth: Tree depth ``n``; the array has ``2^n`` entries.
+        expanded_levels: How many top levels are expanded into the array.
+            ``None`` (default) expands all of them (one array read per
+            slot). With ``t < n`` the array stores ``2^t`` entries and a
+            lookup walks the remaining ``n - t`` levels of sub-tree —
+            trading ``2^(n-t)``-fold space reduction for ``n - t`` extra
+            operations, exactly the paper's Section IV-B scheme.
+    """
+
+    def __init__(self, depth: int, *, expanded_levels: Optional[int] = None) -> None:
+        if not 0 <= depth <= 30:
+            raise ConfigurationError(f"depth must be in 0..30, got {depth}")
+        if expanded_levels is None:
+            expanded_levels = depth
+        if not 0 <= expanded_levels <= depth:
+            raise ConfigurationError(
+                f"expanded_levels must be in 0..{depth}, got {expanded_levels}"
+            )
+        self.depth = depth
+        self.expanded_levels = expanded_levels
+        self.size = 1 << depth
+        # With full expansion: slots[p] = owner of leaf RB(p, depth).
+        # With partial expansion: slots[p] = *sub-tree base offset* of node
+        # v(t, RB(p, t)); lookups walk the allocation map below that node.
+        self._slots: List[Optional[Hashable]] = [None] * (1 << expanded_levels)
+        # Sub-tree owner map used only under partial expansion:
+        # (offset, exponent) blocks, queried through `owner_lookup`.
+        self._owner_lookup = None
+
+    # -- fully expanded operation -------------------------------------
+
+    def write_block(self, offset: int, exponent: int, owner: Optional[Hashable]) -> int:
+        """Set every slot of block ``(offset, exponent)`` to ``owner``.
+
+        Returns the number of array entries written. Under partial
+        expansion only the covered top-level entries are rewritten (the
+        walk resolves the rest), which is why updates stay cheap there.
+        """
+        self._check_block(offset, exponent)
+        n = self.depth
+        level = n - exponent
+        t = self.expanded_levels
+        if level <= t:
+            # The block spans whole expanded-level nodes: write the comb
+            # of node v(level, offset >> exponent) at the expanded depth.
+            index = offset >> exponent
+            positions = node_slot_positions(level, index, t)
+            for p in positions:
+                self._slots[p] = owner
+            return len(positions)
+        # Block lies strictly below the expanded levels: nothing stored
+        # here; the walk resolves it via the owner lookup.
+        return 0
+
+    def set_owner_lookup(self, fn) -> None:
+        """Install the sub-tree owner resolver used under partial expansion.
+
+        ``fn(slot_index) -> owner`` must return the flow owning leaf
+        ``slot_index`` (tree coordinates, not TArray coordinates).
+        """
+        self._owner_lookup = fn
+
+    def owner(self, position: int) -> Optional[Hashable]:
+        """Flow occupying TArray ``position`` (the Schedule lookup)."""
+        if not 0 <= position < self.size:
+            raise ConfigurationError(
+                f"position {position} outside TArray of size {self.size}"
+            )
+        t = self.expanded_levels
+        n = self.depth
+        if t == n:
+            return self._slots[position]
+        # Partial expansion: position p maps to leaf RB(p, n). Its top-t
+        # node is the leaf's first t address bits.
+        leaf = reverse_bits(position, n)
+        top_index = leaf >> (n - t)
+        stored = self._slots[reverse_bits(top_index, t)]
+        if stored is not None:
+            return stored
+        if self._owner_lookup is None:
+            return None
+        return self._owner_lookup(leaf)
+
+    def service_order(self):
+        """The full slot-owner sequence (testing/diagnostics; O(size))."""
+        return [self.owner(p) for p in range(self.size)]
+
+    @property
+    def storage_entries(self) -> int:
+        """Stored entries (E9 space accounting)."""
+        return len(self._slots)
+
+    def _check_block(self, offset: int, exponent: int) -> None:
+        if not 0 <= exponent <= self.depth:
+            raise ConfigurationError(f"bad exponent {exponent}")
+        if offset % (1 << exponent) or not 0 <= offset < self.size:
+            raise ConfigurationError(
+                f"bad block offset {offset} for exponent {exponent}"
+            )
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSlotArray(depth={self.depth}, "
+            f"expanded={self.expanded_levels})"
+        )

@@ -1,0 +1,136 @@
+"""Discrete-event simulation engine (the core of the ns-2 replacement).
+
+A :class:`Simulator` owns a priority queue of timestamped events. Model
+components (links, ports, traffic sources) schedule callbacks; ``run``
+drains the queue in time order. Determinism: events at identical times
+fire in scheduling order (a monotonically increasing sequence number
+breaks ties), so simulations are exactly reproducible.
+
+Times are floats in seconds. The engine is deliberately minimal — no
+processes/coroutines — because packet-level models are naturally
+callback-shaped and this keeps the hot loop fast in pure Python.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..core.errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.9f}, seq={self.seq}{state})"
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (including cancelled ones not yet reaped)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Process events in time order.
+
+        Args:
+            until: Stop once the next event is later than this time (the
+                clock is left at ``until``). ``None`` runs to exhaustion.
+            max_events: Safety valve against runaway models.
+
+        Returns:
+            The number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        queue = self._queue
+        try:
+            while queue:
+                event = queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fn(*event.args)
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now:.6f}, pending={len(self._queue)}, "
+            f"processed={self._events_processed})"
+        )

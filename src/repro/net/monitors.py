@@ -1,0 +1,181 @@
+"""Measurement probes: service traces, backlog and throughput sampling.
+
+The fairness indices of :mod:`repro.analysis.fairness` are defined over a
+*service trace* — the timestamped sequence of (flow, bytes) transmissions
+at one output port. :class:`ServiceTrace` hooks a port's transmit-complete
+callback and accumulates exactly that. The sampling monitors poll state on
+a fixed period using the simulator's own event queue.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.packet import Packet
+from .engine import Simulator
+from .port import OutputPort
+
+__all__ = ["ServiceTrace", "BacklogMonitor", "ThroughputMonitor", "HopTrace"]
+
+
+class ServiceTrace:
+    """Per-port transmission log: ``(completion_time, flow_id, size)``."""
+
+    def __init__(self, port: OutputPort) -> None:
+        self.port = port
+        self.entries: List[Tuple[float, Hashable, int]] = []
+        port.on_transmit.append(self._record)
+
+    def _record(self, now: float, packet: Packet) -> None:
+        self.entries.append((now, packet.flow_id, packet.size))
+
+    def flows(self) -> List[Hashable]:
+        """Distinct flows observed, in first-seen order."""
+        seen = {}
+        for _t, fid, _s in self.entries:
+            seen.setdefault(fid, None)
+        return list(seen)
+
+    def service_curve(self, flow_id: Hashable) -> List[Tuple[float, int]]:
+        """Cumulative bytes served to ``flow_id`` as (time, total) steps."""
+        total = 0
+        curve = []
+        for t, fid, size in self.entries:
+            if fid == flow_id:
+                total += size
+                curve.append((t, total))
+        return curve
+
+    def service_in_window(
+        self, flow_id: Hashable, t0: float, t1: float
+    ) -> int:
+        """Bytes served to ``flow_id`` with completion time in ``[t0, t1)``."""
+        times = [t for t, _f, _s in self.entries]
+        lo = bisect_left(times, t0)
+        hi = bisect_right(times, t1)
+        return sum(
+            size
+            for t, fid, size in self.entries[lo:hi]
+            if fid == flow_id and t0 <= t < t1
+        )
+
+    def slot_sequence(self) -> List[Hashable]:
+        """Just the flow-id order of transmissions (smoothness analyses)."""
+        return [fid for _t, fid, _s in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class HopTrace:
+    """Per-hop latency decomposition for one flow along a port list.
+
+    Subscribes to each port's transmit-complete hook and records, per
+    packet (keyed by uid), the completion time at every hop. The
+    decomposition then gives, for each hop, the time the packet spent
+    from the previous hop's completion (or creation) to this hop's —
+    i.e. queueing + serialisation + upstream propagation — which is how
+    the end-to-end bounds' per-node terms are checked empirically.
+    """
+
+    def __init__(self, ports, flow_id: Hashable) -> None:
+        self.ports = list(ports)
+        self.flow_id = flow_id
+        #: packet uid -> list of per-hop completion times (path order).
+        self._times: Dict[int, List[Optional[float]]] = {}
+        self._created: Dict[int, float] = {}
+        for index, port in enumerate(self.ports):
+            port.on_transmit.append(self._make_hook(index))
+
+    def _make_hook(self, index: int):
+        def hook(now: float, packet: Packet) -> None:
+            if packet.flow_id != self.flow_id:
+                return
+            times = self._times.get(packet.uid)
+            if times is None:
+                times = self._times[packet.uid] = [None] * len(self.ports)
+                self._created[packet.uid] = packet.created_at
+            times[index] = now
+
+        return hook
+
+    def per_hop_delays(self) -> List[List[float]]:
+        """For each fully traced packet: per-hop elapsed times (seconds).
+
+        Element ``[k]`` is the time from the previous hop's completion
+        (hop 0: from packet creation) to hop ``k``'s completion.
+        """
+        rows: List[List[float]] = []
+        for uid, times in self._times.items():
+            if any(t is None for t in times):
+                continue  # still in flight
+            previous = self._created[uid]
+            row = []
+            for t in times:
+                row.append(t - previous)  # type: ignore[operator]
+                previous = t  # type: ignore[assignment]
+            rows.append(row)
+        return rows
+
+    def worst_per_hop(self) -> List[float]:
+        """Max per-hop elapsed time over traced packets (path order)."""
+        rows = self.per_hop_delays()
+        if not rows:
+            return [0.0] * len(self.ports)
+        return [max(row[k] for row in rows) for k in range(len(self.ports))]
+
+
+class BacklogMonitor:
+    """Samples a port's queued-packet count every ``interval`` seconds."""
+
+    def __init__(
+        self, sim: Simulator, port: OutputPort, interval: float = 0.01
+    ) -> None:
+        self.sim = sim
+        self.port = port
+        self.interval = interval
+        self.samples: List[Tuple[float, int]] = []
+        sim.schedule(0.0, self._sample)
+
+    def _sample(self) -> None:
+        self.samples.append((self.sim.now, self.port.backlog))
+        self.sim.schedule(self.interval, self._sample)
+
+    @property
+    def max_backlog(self) -> int:
+        return max((b for _t, b in self.samples), default=0)
+
+    @property
+    def mean_backlog(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(b for _t, b in self.samples) / len(self.samples)
+
+
+class ThroughputMonitor:
+    """Per-flow delivered-bytes-per-interval series from a sink registry."""
+
+    def __init__(self, sim: Simulator, sink_registry, interval: float = 0.1) -> None:
+        self.sim = sim
+        self.sinks = sink_registry
+        self.interval = interval
+        self._last: Dict[Hashable, int] = {}
+        #: flow_id -> list of (window_end_time, bits_per_second).
+        self.series: Dict[Hashable, List[Tuple[float, float]]] = {}
+        sim.schedule(interval, self._sample)
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        for fid, rec in self.sinks.flows.items():
+            prev = self._last.get(fid, 0)
+            delta = rec.bytes - prev
+            self._last[fid] = rec.bytes
+            self.series.setdefault(fid, []).append(
+                (now, delta * 8.0 / self.interval)
+            )
+        self.sim.schedule(self.interval, self._sample)
+
+    def rates(self, flow_id: Hashable) -> List[float]:
+        """The bps series for ``flow_id`` (empty if never seen)."""
+        return [r for _t, r in self.series.get(flow_id, [])]

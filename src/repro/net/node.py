@@ -1,0 +1,67 @@
+"""Network nodes: hosts and routers.
+
+A :class:`Node` forwards packets by destination name through its routing
+table (populated by :func:`repro.net.routing.compute_next_hops` via the
+:class:`~repro.net.scenario.Network` builder). Packets addressed to the
+node itself are handed to its delivery handler (the network's sink
+registry). Hosts and routers are the same class — a host is just a node
+where sources inject and sinks terminate, exactly as in ns-2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.errors import SimulationError
+from ..core.packet import Packet
+from .port import OutputPort
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A named forwarding element with per-neighbour output ports."""
+
+    def __init__(self, name: str, deliver: Optional[Callable[[Packet], None]] = None) -> None:
+        self.name = name
+        #: neighbour name -> OutputPort towards that neighbour.
+        self.ports: Dict[str, OutputPort] = {}
+        #: destination name -> neighbour name (next hop).
+        self.routes: Dict[str, str] = {}
+        self._deliver = deliver
+        self.packets_forwarded = 0
+        self.packets_delivered = 0
+
+    def set_delivery_handler(self, deliver: Callable[[Packet], None]) -> None:
+        """Install the callback for packets addressed to this node."""
+        self._deliver = deliver
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet from a link (or a local source) and dispatch it."""
+        if packet.dst == self.name:
+            self.packets_delivered += 1
+            if self._deliver is not None:
+                self._deliver(packet)
+            return
+        self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        """Send ``packet`` towards its destination via the routing table."""
+        next_hop = self.routes.get(packet.dst)
+        if next_hop is None:
+            raise SimulationError(
+                f"node {self.name!r} has no route to {packet.dst!r}"
+            )
+        port = self.ports.get(next_hop)
+        if port is None:
+            raise SimulationError(
+                f"node {self.name!r} has no port towards {next_hop!r}"
+            )
+        self.packets_forwarded += 1
+        port.enqueue(packet)
+
+    # A host's local injection is just "receive from the application".
+    inject = receive
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}, ports={sorted(self.ports)})"

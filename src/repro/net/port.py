@@ -1,0 +1,116 @@
+"""Output port: where a scheduler meets a link.
+
+Every (node, outgoing link) pair has an :class:`OutputPort` holding one
+scheduler instance (any :class:`~repro.core.interfaces.PacketScheduler`).
+The port implements the store-and-forward transmit loop:
+
+* arriving packets are stamped and pushed into the scheduler;
+* whenever the line is free, the scheduler is asked for the next packet,
+  which occupies the line for its serialisation time and is delivered to
+  the peer node after the propagation delay;
+* observers can subscribe to per-packet transmit-completion callbacks
+  (``on_transmit``) — the fairness analyses build per-port service traces
+  from these.
+
+This is the point where the paper's O(1)-per-packet claim matters: the
+``dequeue`` call sits on the critical path of every transmitted packet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.interfaces import PacketScheduler
+from ..core.packet import Packet
+from .engine import Simulator
+from .link import Link
+
+__all__ = ["OutputPort"]
+
+TransmitHook = Callable[[float, Packet], None]
+
+
+class OutputPort:
+    """Scheduler + transmitter feeding one unidirectional link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        scheduler: PacketScheduler,
+        peer: "object",
+        name: str = "",
+        buffer_packets: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.scheduler = scheduler
+        self.peer = peer  # the receiving Node
+        self.name = name
+        #: Shared drop-tail buffer across all flows (None = unbounded;
+        #: per-flow limits are the scheduler's max_queue).
+        self.buffer_packets = buffer_packets
+        self.busy = False
+        self.packets_in = 0
+        self.packets_out = 0
+        self.bytes_out = 0
+        self.drops = 0
+        self.on_transmit: List[TransmitHook] = []
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Accept ``packet`` for transmission; False when dropped."""
+        packet.enqueued_at = self.sim.now
+        self.packets_in += 1
+        if (
+            self.buffer_packets is not None
+            and self.scheduler.backlog >= self.buffer_packets
+        ):
+            self.drops += 1
+            return False
+        if not self.scheduler.enqueue(packet):
+            self.drops += 1
+            return False
+        if not self.busy:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        packet = self.scheduler.dequeue()
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        packet.dequeued_at = self.sim.now
+        self.sim.schedule(
+            self.link.serialization_time(packet.size),
+            self._transmission_complete,
+            packet,
+        )
+
+    def _transmission_complete(self, packet: Packet) -> None:
+        now = self.sim.now
+        self.packets_out += 1
+        self.bytes_out += packet.size
+        for hook in self.on_transmit:
+            hook(now, packet)
+        # Propagation: the packet arrives at the peer delay seconds after
+        # the last bit leaves; the line is immediately free for the next.
+        self.sim.schedule(self.link.delay, self.peer.receive, packet)
+        self._transmit_next()
+
+    @property
+    def backlog(self) -> int:
+        """Packets queued at this port."""
+        return self.scheduler.backlog
+
+    @property
+    def utilization_bytes(self) -> int:
+        """Total bytes transmitted."""
+        return self.bytes_out
+
+    def __repr__(self) -> str:
+        return (
+            f"OutputPort({self.name or '?'}: {self.link!r}, "
+            f"sched={type(self.scheduler).__name__}, "
+            f"backlog={self.scheduler.backlog})"
+        )

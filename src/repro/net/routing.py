@@ -1,0 +1,106 @@
+"""Static shortest-path routing.
+
+Routes are computed once from the topology (Dijkstra from every node, cost
+= link cost, default 1 per hop) and installed as next-hop tables. This
+matches the static routing used for scheduler evaluations in ns-2: the
+experiments study queueing, not route dynamics.
+
+Tie-breaking is deterministic (lexically smaller predecessor wins), so
+simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["compute_next_hops", "shortest_path"]
+
+Adjacency = Dict[str, List[Tuple[str, float]]]
+
+
+def _dijkstra(
+    adjacency: Adjacency, src: str
+) -> Tuple[Dict[str, float], Dict[str, Optional[str]]]:
+    """Distances and predecessor map from ``src``."""
+    if src not in adjacency:
+        raise ConfigurationError(f"unknown node {src!r}")
+    dist: Dict[str, float] = {src: 0.0}
+    prev: Dict[str, Optional[str]] = {src: None}
+    heap: List[Tuple[float, str]] = [(0.0, src)]
+    done = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for neighbour, cost in adjacency.get(node, ()):
+            if cost < 0:
+                raise ConfigurationError(
+                    f"negative link cost {cost} on {node!r}->{neighbour!r}"
+                )
+            nd = d + cost
+            better = neighbour not in dist or nd < dist[neighbour] - 1e-15
+            # Deterministic tie-break: prefer the lexically smaller
+            # predecessor at equal distance.
+            tie = (
+                neighbour in dist
+                and abs(nd - dist[neighbour]) <= 1e-15
+                and neighbour not in done
+                and str(node) < str(prev[neighbour])
+            )
+            if better or tie:
+                dist[neighbour] = nd
+                prev[neighbour] = node
+                heapq.heappush(heap, (nd, neighbour))
+    return dist, prev
+
+
+def shortest_path(adjacency: Adjacency, src: str, dst: str) -> List[str]:
+    """The node sequence of the shortest path ``src -> dst``.
+
+    Raises:
+        ConfigurationError: when ``dst`` is unreachable from ``src``.
+    """
+    if src == dst:
+        return [src]
+    _dist, prev = _dijkstra(adjacency, src)
+    if dst not in prev:
+        raise ConfigurationError(f"no path from {src!r} to {dst!r}")
+    path = [dst]
+    node: Optional[str] = dst
+    while node != src:
+        node = prev[node]  # type: ignore[index]
+        assert node is not None
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def compute_next_hops(adjacency: Adjacency) -> Dict[str, Dict[str, str]]:
+    """All-pairs next-hop tables.
+
+    Args:
+        adjacency: node -> list of (neighbour, cost) for its outgoing links.
+
+    Returns:
+        ``tables[src][dst] = first-hop neighbour`` for every reachable
+        ``dst != src``.
+    """
+    tables: Dict[str, Dict[str, str]] = {}
+    for src in adjacency:
+        _dist, prev = _dijkstra(adjacency, src)
+        table: Dict[str, str] = {}
+        for dst in prev:
+            if dst == src:
+                continue
+            # Walk back from dst to the node adjacent to src.
+            node = dst
+            while prev[node] != src:
+                node = prev[node]  # type: ignore[assignment]
+                assert node is not None
+            table[dst] = node
+        tables[src] = table
+    return tables

@@ -1,0 +1,110 @@
+"""Leaky-bucket / token-bucket traffic shaping.
+
+Corollary 1 of the supplied text (and the LR-server framework generally)
+states end-to-end delay bounds for flows constrained by a leaky bucket
+``(sigma, rho)``: at most ``sigma`` bytes of burst on top of a sustained
+rate ``rho``. :class:`TokenBucketShaper` enforces exactly that envelope
+between a source and its host: conforming packets pass through
+immediately; the rest wait in a FIFO until tokens accumulate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.packet import Packet
+from .engine import Simulator
+
+__all__ = ["TokenBucketShaper"]
+
+ForwardFn = Callable[[Packet], None]
+
+#: Token-comparison slack in bytes. Refill arithmetic accumulates float
+#: error; without tolerance a packet can stall 1e-13 bytes short of
+#: conformance and busy-loop the release event at zero delay.
+_EPSILON_BYTES = 1e-6
+
+
+class TokenBucketShaper:
+    """A ``(sigma, rho)`` regulator: ``sigma`` bytes of depth, ``rho`` bits/s.
+
+    Args:
+        sigma_bytes: Bucket depth (maximum burst, bytes).
+        rate_bps: Token fill rate (sustained rate, bits/s).
+
+    Use :meth:`bind` to point the shaper at the downstream ``forward``
+    callback, then feed it with :meth:`offer`.
+    """
+
+    def __init__(self, sigma_bytes: float, rate_bps: float) -> None:
+        if sigma_bytes <= 0:
+            raise ConfigurationError("sigma must be positive (bytes)")
+        if rate_bps <= 0:
+            raise ConfigurationError("rate must be positive (bits/s)")
+        self.sigma = float(sigma_bytes)
+        self.rate_bytes_per_s = rate_bps / 8.0
+        self.sim: Optional[Simulator] = None
+        self._forward: Optional[ForwardFn] = None
+        self._tokens = float(sigma_bytes)  # start full (worst-case burst)
+        self._last_fill = 0.0
+        self._queue: Deque[Packet] = deque()
+        self._release_pending = False
+        self.packets_shaped = 0
+        self.packets_delayed = 0
+
+    def bind(self, sim: Simulator, forward: ForwardFn) -> None:
+        """Attach to the simulator and the downstream consumer."""
+        self.sim = sim
+        self._forward = forward
+        self._last_fill = sim.now
+
+    def offer(self, packet: Packet) -> None:
+        """Submit a packet; it is forwarded when it conforms."""
+        assert self.sim is not None and self._forward is not None
+        self._refill()
+        self.packets_shaped += 1
+        if not self._queue and self._tokens >= packet.size - _EPSILON_BYTES:
+            self._tokens = max(0.0, self._tokens - packet.size)
+            self._forward(packet)
+            return
+        self.packets_delayed += 1
+        self._queue.append(packet)
+        self._schedule_release()
+
+    @property
+    def backlog(self) -> int:
+        """Packets waiting for tokens."""
+        return len(self._queue)
+
+    def _refill(self) -> None:
+        assert self.sim is not None
+        now = self.sim.now
+        self._tokens = min(
+            self.sigma,
+            self._tokens + (now - self._last_fill) * self.rate_bytes_per_s,
+        )
+        self._last_fill = now
+
+    def _schedule_release(self) -> None:
+        assert self.sim is not None
+        if self._release_pending or not self._queue:
+            return
+        need = self._queue[0].size - self._tokens
+        delay = max(0.0, need / self.rate_bytes_per_s)
+        self._release_pending = True
+        self.sim.schedule(delay, self._release)
+
+    def _release(self) -> None:
+        assert self._forward is not None
+        self._release_pending = False
+        self._refill()
+        while (
+            self._queue
+            and self._tokens >= self._queue[0].size - _EPSILON_BYTES
+        ):
+            packet = self._queue.popleft()
+            self._tokens = max(0.0, self._tokens - packet.size)
+            self._forward(packet)
+        self._schedule_release()

@@ -1,0 +1,125 @@
+"""Delivery recording: per-flow end-to-end delay and throughput traces.
+
+Every packet that reaches its destination node is handed to the network's
+:class:`SinkRegistry`, which stamps ``delivered_at`` and appends a
+:class:`DeliveryRecord`. Analyses (delay percentiles, fairness, service
+curves) are computed from these records by :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from ..core.packet import Packet
+from .engine import Simulator
+
+__all__ = ["DeliveryRecord", "FlowRecord", "SinkRegistry"]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivered packet, reduced to what the analyses need."""
+
+    flow_id: Hashable
+    seq: int
+    size: int
+    created_at: float
+    delivered_at: float
+
+    @property
+    def delay(self) -> float:
+        """End-to-end delay (creation to final delivery), seconds."""
+        return self.delivered_at - self.created_at
+
+
+class FlowRecord:
+    """Accumulated delivery state for one flow."""
+
+    __slots__ = ("flow_id", "packets", "bytes", "records", "first_at", "last_at")
+
+    def __init__(self, flow_id: Hashable) -> None:
+        self.flow_id = flow_id
+        self.packets = 0
+        self.bytes = 0
+        self.records: List[DeliveryRecord] = []
+        self.first_at = float("inf")
+        self.last_at = 0.0
+
+    def add(self, record: DeliveryRecord) -> None:
+        self.packets += 1
+        self.bytes += record.size
+        self.records.append(record)
+        self.first_at = min(self.first_at, record.delivered_at)
+        self.last_at = max(self.last_at, record.delivered_at)
+
+    def delays(self) -> List[float]:
+        """Per-packet end-to-end delays in delivery order."""
+        return [r.delay for r in self.records]
+
+    def throughput_bps(self, t0: float = 0.0, t1: float = float("inf")) -> float:
+        """Average goodput over ``[t0, t1]`` (delivery-time window)."""
+        total = sum(
+            r.size for r in self.records if t0 <= r.delivered_at <= t1
+        )
+        span = min(t1, self.last_at) - max(t0, 0.0)
+        if span <= 0:
+            return 0.0
+        return total * 8.0 / span
+
+
+class SinkRegistry:
+    """Collects :class:`DeliveryRecord` objects for every flow.
+
+    Delivery *listeners* can subscribe (:meth:`add_listener`) to be
+    called with each delivered packet — this is how closed-loop sources
+    (:class:`~repro.net.sources.WindowSource`) learn about their
+    deliveries and keep their window full.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.flows: Dict[Hashable, FlowRecord] = {}
+        self.total_packets = 0
+        self.total_bytes = 0
+        self._listeners: List = []
+
+    def add_listener(self, listener) -> None:
+        """Subscribe ``listener(packet)`` to every delivery."""
+        self._listeners.append(listener)
+
+    def record(self, packet: Packet) -> None:
+        """Stamp and record a packet that reached its destination."""
+        packet.delivered_at = self.sim.now
+        rec = DeliveryRecord(
+            flow_id=packet.flow_id,
+            seq=packet.seq,
+            size=packet.size,
+            created_at=packet.created_at,
+            delivered_at=packet.delivered_at,
+        )
+        flow = self.flows.get(packet.flow_id)
+        if flow is None:
+            flow = self.flows[packet.flow_id] = FlowRecord(packet.flow_id)
+        flow.add(rec)
+        self.total_packets += 1
+        self.total_bytes += packet.size
+        for listener in self._listeners:
+            listener(packet)
+
+    def flow(self, flow_id: Hashable) -> FlowRecord:
+        """The record for ``flow_id`` (empty record if nothing delivered)."""
+        rec = self.flows.get(flow_id)
+        if rec is None:
+            rec = self.flows[flow_id] = FlowRecord(flow_id)
+        return rec
+
+    def delays(self, flow_id: Hashable) -> List[float]:
+        """Per-packet delays for ``flow_id`` (empty when none delivered)."""
+        return self.flow(flow_id).delays()
+
+    def __repr__(self) -> str:
+        return (
+            f"SinkRegistry(flows={len(self.flows)}, "
+            f"packets={self.total_packets})"
+        )

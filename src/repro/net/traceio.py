@@ -1,0 +1,105 @@
+"""Trace persistence: export/import delivery and service traces.
+
+Long simulations are expensive; analyses are cheap. These helpers save a
+run's per-packet records to disk (CSV — stdlib only, diff-friendly,
+loadable by pandas/numpy elsewhere) so experiments can be re-analysed
+without re-simulating.
+
+Two record kinds are covered:
+
+* **delivery traces** — end-to-end per-packet records from a
+  :class:`~repro.net.sinks.SinkRegistry`;
+* **service traces** — per-port transmission logs from a
+  :class:`~repro.net.monitors.ServiceTrace`.
+
+Flow ids are serialised with ``str()``; loading returns them as strings
+(hashable, good enough for analysis — keep flow ids string-typed in
+experiments you intend to persist).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..core.errors import ConfigurationError
+from .monitors import ServiceTrace
+from .sinks import DeliveryRecord, SinkRegistry
+
+__all__ = [
+    "save_delivery_trace",
+    "load_delivery_trace",
+    "save_service_trace",
+    "load_service_trace",
+]
+
+PathLike = Union[str, Path]
+
+_DELIVERY_HEADER = ["flow_id", "seq", "size", "created_at", "delivered_at"]
+_SERVICE_HEADER = ["time", "flow_id", "size"]
+
+
+def save_delivery_trace(sinks: SinkRegistry, path: PathLike) -> int:
+    """Write every delivery record to ``path`` (CSV); returns row count."""
+    rows = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_DELIVERY_HEADER)
+        for flow in sinks.flows.values():
+            for rec in flow.records:
+                writer.writerow(
+                    [rec.flow_id, rec.seq, rec.size,
+                     repr(rec.created_at), repr(rec.delivered_at)]
+                )
+                rows += 1
+    return rows
+
+
+def load_delivery_trace(path: PathLike) -> List[DeliveryRecord]:
+    """Read a delivery-trace CSV back into records (flow ids as str)."""
+    records: List[DeliveryRecord] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _DELIVERY_HEADER:
+            raise ConfigurationError(
+                f"{path}: not a delivery trace (header {header})"
+            )
+        for row in reader:
+            flow_id, seq, size, created, delivered = row
+            records.append(
+                DeliveryRecord(
+                    flow_id=flow_id,
+                    seq=int(seq),
+                    size=int(size),
+                    created_at=float(created),
+                    delivered_at=float(delivered),
+                )
+            )
+    return records
+
+
+def save_service_trace(trace: ServiceTrace, path: PathLike) -> int:
+    """Write a port's transmission log to ``path`` (CSV); returns rows."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_SERVICE_HEADER)
+        for t, fid, size in trace.entries:
+            writer.writerow([repr(t), fid, size])
+    return len(trace.entries)
+
+
+def load_service_trace(path: PathLike) -> List[Tuple[float, str, int]]:
+    """Read a service-trace CSV back as ``(time, flow_id, size)`` tuples."""
+    entries: List[Tuple[float, str, int]] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _SERVICE_HEADER:
+            raise ConfigurationError(
+                f"{path}: not a service trace (header {header})"
+            )
+        for t, fid, size in reader:
+            entries.append((float(t), fid, int(size)))
+    return entries

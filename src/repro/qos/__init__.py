@@ -1,0 +1,11 @@
+"""QoS control plane: admission control and end-to-end delay quotes.
+
+The data plane (schedulers, ports) enforces per-flow service; this
+package is the control plane the paper assumes exists around it — a call
+admission controller tracking per-link reservations and quoting
+end-to-end delay bounds per the LR-server composition (Corollary 1).
+"""
+
+from .admission import AdmissionController, DelayQuote, Reservation
+
+__all__ = ["AdmissionController", "DelayQuote", "Reservation"]

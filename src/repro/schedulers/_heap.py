@@ -1,0 +1,88 @@
+"""A binary min-heap with elementary-operation counting.
+
+The timestamp-based baselines (WFQ family) are O(log N) *because of the
+priority queue*. To make experiment E5 honest, their heaps count every
+sift comparison/swap into the shared :class:`~repro.core.opcount.OpCounter`,
+the same unit the SRR linked-list operations are counted in. The
+implementation mirrors :mod:`heapq` (array-based binary heap) so the
+constant factors are comparable too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..core.opcount import NULL_COUNTER, OpCounter
+
+__all__ = ["CountingHeap"]
+
+
+class CountingHeap:
+    """Array-based binary min-heap of comparable tuples, counting sifts."""
+
+    __slots__ = ("_items", "_ops")
+
+    def __init__(self, *, op_counter: OpCounter = NULL_COUNTER) -> None:
+        self._items: List[Any] = []
+        self._ops = op_counter
+
+    def push(self, item: Any) -> None:
+        """Insert ``item`` (O(log n) counted operations)."""
+        items = self._items
+        items.append(item)
+        pos = len(items) - 1
+        # Sift up.
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            self._ops.bump()
+            if items[parent] <= item:
+                break
+            items[pos] = items[parent]
+            pos = parent
+        items[pos] = item
+
+    def pop(self) -> Any:
+        """Remove and return the smallest item (O(log n) counted operations)."""
+        items = self._items
+        last = items.pop()
+        if not items:
+            return last
+        smallest = items[0]
+        # Sift down the previous tail from the root.
+        pos = 0
+        size = len(items)
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            self._ops.bump()
+            if right < size and items[right] < items[child]:
+                child = right
+            if items[child] >= last:
+                break
+            items[pos] = items[child]
+            pos = child
+        items[pos] = last
+        return smallest
+
+    def peek(self) -> Any:
+        """The smallest item without removing it (heap must be non-empty)."""
+        return self._items[0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def check_invariant(self) -> None:
+        """Verify the heap property (test helper)."""
+        items = self._items
+        for i in range(1, len(items)):
+            parent = (i - 1) >> 1
+            if items[parent] > items[i]:
+                raise AssertionError(f"heap violated at index {i}")

@@ -1,0 +1,46 @@
+"""First-In-First-Out — the degenerate baseline (no isolation at all).
+
+FIFO ignores weights entirely; it exists to show what the QoS schedulers
+buy. Per-flow queue limits are still honoured so overload experiments can
+drop fairly at the edge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import ClassVar, Deque, Optional
+
+from ..core.interfaces import FlowTableScheduler
+from ..core.packet import Packet
+
+__all__ = ["FIFOScheduler"]
+
+
+class FIFOScheduler(FlowTableScheduler):
+    """Single shared queue; arrival order is service order."""
+
+    name: ClassVar[str] = "fifo"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._line: Deque[Packet] = deque()
+
+    def enqueue(self, packet: Packet) -> bool:
+        if not super().enqueue(packet):
+            return False
+        self._line.append(packet)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        ops = self._ops
+        while self._line:
+            ops.bump()
+            packet = self._line.popleft()
+            flow = self._flows.get(packet.flow_id)
+            # The packet may belong to a flow that was removed after it was
+            # queued; its backlog was already discounted then, so skip it.
+            if flow is None or not flow.queue or flow.queue[0] is not packet:
+                continue
+            flow.take()
+            return self._account_departure(packet)
+        return None

@@ -1,0 +1,72 @@
+"""Name -> scheduler factory registry.
+
+The benchmark harness and the network simulator refer to scheduling
+disciplines by short names (``"srr"``, ``"drr"``, ``"wfq"``, ...); this
+module resolves them. Extensions (RRR, G-3) register themselves on import
+of :mod:`repro.extensions`, keeping the dependency direction clean
+(core/schedulers never import extensions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.errors import ConfigurationError
+from ..core.interfaces import PacketScheduler
+from ..core.srr import SRRScheduler
+from .drr import DRRScheduler
+from .fifo import FIFOScheduler
+from .rr import RoundRobinScheduler
+from .scfq import SCFQScheduler
+from .stfq import STFQScheduler
+from .strr import StratifiedRRScheduler
+from .virtual_clock import VirtualClockScheduler
+from .wf2q import WF2QPlusScheduler
+from .wfq import WFQScheduler
+from .wrr import WRRScheduler
+
+__all__ = ["create_scheduler", "register_scheduler", "available_schedulers"]
+
+SchedulerFactory = Callable[..., PacketScheduler]
+
+_REGISTRY: Dict[str, SchedulerFactory] = {
+    SRRScheduler.name: SRRScheduler,
+    DRRScheduler.name: DRRScheduler,
+    FIFOScheduler.name: FIFOScheduler,
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    SCFQScheduler.name: SCFQScheduler,
+    STFQScheduler.name: STFQScheduler,
+    StratifiedRRScheduler.name: StratifiedRRScheduler,
+    VirtualClockScheduler.name: VirtualClockScheduler,
+    WF2QPlusScheduler.name: WF2QPlusScheduler,
+    WFQScheduler.name: WFQScheduler,
+    WRRScheduler.name: WRRScheduler,
+}
+
+
+def register_scheduler(name: str, factory: SchedulerFactory) -> None:
+    """Register (or replace) a scheduler factory under ``name``."""
+    if not name:
+        raise ConfigurationError("scheduler name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def create_scheduler(name: str, **kwargs) -> PacketScheduler:
+    """Instantiate a scheduler by registry name, passing ``kwargs`` through."""
+    if name not in _REGISTRY:
+        # The extension schedulers (rrr, g3) register on import of
+        # repro.extensions; load them lazily so callers can name them
+        # without importing the package themselves.
+        import repro.extensions  # noqa: F401
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_schedulers() -> List[str]:
+    """Sorted list of registered scheduler names."""
+    return sorted(_REGISTRY)

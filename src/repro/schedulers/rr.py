@@ -1,0 +1,55 @@
+"""Plain (unweighted) round robin — Nagle's fair queueing baseline.
+
+One packet per backlogged flow per round, in a circular order. Fair in
+packets per round for equal-weight flows; ignores weights (use WRR/DRR for
+weighted service).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import ClassVar, Deque, Optional
+
+from ..core.flow import FlowState
+from ..core.interfaces import FlowTableScheduler
+from ..core.packet import Packet
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(FlowTableScheduler):
+    """Circular one-packet-per-flow service (Nagle, 1987)."""
+
+    name: ClassVar[str] = "rr"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        # Deque of backlogged flows in service order. A flow appears at
+        # most once; membership is mirrored by flow.deficit used as a flag
+        # would be obscure, so we keep an explicit set.
+        self._active: Deque[FlowState] = deque()
+        self._active_set = set()
+
+    def _on_backlogged(self, flow: FlowState) -> None:
+        if flow.flow_id not in self._active_set:
+            self._active.append(flow)
+            self._active_set.add(flow.flow_id)
+
+    def _on_flow_removed(self, flow: FlowState) -> None:
+        if flow.flow_id in self._active_set:
+            self._active.remove(flow)  # O(N), but only on flow deletion
+            self._active_set.discard(flow.flow_id)
+
+    def dequeue(self) -> Optional[Packet]:
+        ops = self._ops
+        active = self._active
+        while active:
+            ops.bump()
+            flow = active.popleft()
+            packet = flow.take()
+            if flow.queue:
+                active.append(flow)
+            else:
+                self._active_set.discard(flow.flow_id)
+            return self._account_departure(packet)
+        return None

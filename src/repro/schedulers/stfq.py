@@ -1,0 +1,76 @@
+"""Start-time Fair Queueing (Goyal, Vin & Cheng, SIGCOMM 1996 / ToN 1997).
+
+STFQ serves the packet with the smallest *start* stamp, with system
+virtual time self-clocked to the start stamp of the packet in service.
+Like SCFQ it avoids GPS tracking (O(log N) per packet) while providing
+fairness that degrades gracefully under fluctuating server capacity — the
+property that made it popular for hierarchical link sharing. In this
+repository it is a second timestamp baseline for experiments E5/E6.
+
+Tagging (packet ``p`` of flow ``i``)::
+
+    S_p = max(V_now, F_i)
+    F_p = S_p + size(p) / w_i     # F_i := F_p
+
+Service: smallest ``S_p``; ties by arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Optional
+
+from ..core.flow import FlowState
+from ..core.interfaces import FlowTableScheduler
+from ..core.packet import Packet
+from ._heap import CountingHeap
+
+__all__ = ["STFQScheduler"]
+
+
+class STFQScheduler(FlowTableScheduler):
+    """Start-time fair queueing: serve min start stamp, V = S in service."""
+
+    name: ClassVar[str] = "stfq"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._vtime = 0.0
+        self._service = CountingHeap(op_counter=self._ops)
+
+    def enqueue(self, packet: Packet) -> bool:
+        flow = self._lookup(packet.flow_id)
+        if not super().enqueue(packet):
+            return False
+        start = self._vtime if flow.finish_tag < self._vtime else flow.finish_tag
+        finish = start + packet.size / flow.weight
+        flow.finish_tag = finish
+        self._service.push((start, packet.uid, packet, flow))
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        service = self._service
+        while service:
+            start, _uid, packet, flow = service.pop()
+            if not flow.queue or flow.queue[0] is not packet:
+                continue  # stale (flow was removed)
+            flow.take()
+            self._vtime = start
+            self._account_departure(packet)
+            if self._backlog_packets == 0:
+                self._end_busy_period()
+            return packet
+        return None
+
+    def _end_busy_period(self) -> None:
+        self._vtime = 0.0
+        self._service.clear()
+        for flow in self._flows.values():
+            flow.finish_tag = 0.0
+
+    def _on_flow_removed(self, flow: FlowState) -> None:
+        flow.finish_tag = 0.0
+
+    @property
+    def virtual_time(self) -> float:
+        """Current self-clocked virtual time (diagnostics/tests)."""
+        return self._vtime

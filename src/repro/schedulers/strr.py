@@ -1,0 +1,190 @@
+"""Stratified Round Robin (Ramabhadran & Pasquale, SIGCOMM 2003).
+
+One of the timestamp/round-robin hybrids the paper's introduction
+discusses (together with GR³ and FRR): flows are *stratified* into rate
+classes, a cheap deadline scheme arbitrates between classes, and round
+robin with small per-flow slot credits runs inside each class.
+
+Scheme (following the published design, at slot granularity):
+
+* flow ``i`` with weight share ``s_i = w_i / Σw`` joins class
+  ``F_k`` with ``k = ceil(-log2 s_i)`` — class ``k`` holds flows with
+  share in ``(2^-k, 2^-(k-1)]``, so ``s_i * 2^k`` lies in ``(1, 2]``;
+* a backlogged class is scheduled at the aggregate rate of its
+  backlogged flows: after each class slot its deadline advances by
+  ``Σw / (class backlogged weight)`` slot times, and the
+  earliest-deadline backlogged class wins (a lazy heap over at most ~32
+  classes — effectively O(1), the algorithm's selling point);
+* inside the class, flows take turns: on gaining the head a flow is
+  charged ``s_i * 2^k`` slot *credits* (in ``(1, 2]``), sends one packet
+  per class slot while it has a full credit, and rotates when its credit
+  falls below 1 (carrying the remainder — a packet-unit deficit counter,
+  exactly the published rule). Per ring cycle a flow therefore sends
+  ``∝ w_i`` packets, giving proportional fairness overall.
+
+The published weakness — a low-rate flow's single-packet latency is
+proportional to ``2^k``, i.e. inversely proportional to its rate — and
+the O(1)-ish class count are what make STRR an instructive comparator
+for SRR in E4/E5.
+
+Fixed-size packet model (the paper's and this repository's E-series
+setting); for variable sizes the credits would count bytes, as in DRR.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Deque, Dict, Hashable, Optional
+
+from collections import deque
+
+from ..core.errors import InvalidWeightError
+from ..core.flow import FlowState
+from ..core.interfaces import FlowTableScheduler
+from ..core.packet import Packet
+from ._heap import CountingHeap
+
+__all__ = ["StratifiedRRScheduler"]
+
+#: Deepest rate class supported (shares below 2^-32 are clamped).
+_MAX_CLASS = 32
+
+
+class _RateClass:
+    """One stratum: a round-robin ring of backlogged flows + a deadline."""
+
+    __slots__ = ("k", "flows", "members", "weight_sum", "deadline", "stamp",
+                 "head_charged")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.flows: Deque[FlowState] = deque()
+        self.members: set = set()
+        self.weight_sum = 0.0  # backlogged weight in this class
+        self.deadline = 0.0
+        self.stamp = 0  # lazily invalidates stale heap entries
+        self.head_charged = False
+
+
+class StratifiedRRScheduler(FlowTableScheduler):
+    """Stratified Round Robin: rate classes + deadlines + intra-class RR."""
+
+    name: ClassVar[str] = "strr"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._classes: Dict[int, _RateClass] = {}
+        # Heap of (deadline, stamp, k, class); entries validated lazily.
+        self._deadlines = CountingHeap(op_counter=self._ops)
+        self._total_weight = 0.0
+        self._slot_clock = 0.0
+        # flow_id -> stratum while the flow is backlogged. Stratification
+        # is (re)computed each time a flow becomes backlogged, against the
+        # current total weight — the published scheme stratifies against
+        # the known link capacity; re-stratifying at backlog transitions
+        # tracks membership churn, and proportional fairness holds
+        # regardless of stratification accuracy (only latency depends on
+        # it).
+        self._class_of: Dict[Hashable, int] = {}
+
+    # -- flow management ---------------------------------------------------
+
+    def _on_flow_added(self, flow: FlowState) -> None:
+        if flow.weight <= 0:
+            raise InvalidWeightError("STRR weights must be positive")
+        self._total_weight += flow.weight
+
+    def _stratum(self, weight: float) -> int:
+        share = weight / self._total_weight
+        k = int(math.ceil(-math.log2(share))) if share < 1.0 else 0
+        return min(max(k, 0), _MAX_CLASS)
+
+    def _on_flow_removed(self, flow: FlowState) -> None:
+        self._total_weight -= flow.weight
+        k = self._class_of.pop(flow.flow_id, None)
+        if k is not None:
+            cls = self._classes.get(k)
+            if cls is not None and flow.flow_id in cls.members:
+                if cls.flows and cls.flows[0] is flow:
+                    cls.head_charged = False
+                cls.flows.remove(flow)
+                cls.members.discard(flow.flow_id)
+                cls.weight_sum -= flow.weight
+        flow.deficit = 0
+
+    def _on_backlogged(self, flow: FlowState) -> None:
+        k = self._class_of.get(flow.flow_id)
+        if k is None:
+            k = self._class_of[flow.flow_id] = self._stratum(flow.weight)
+        cls = self._classes.get(k)
+        if cls is None:
+            cls = self._classes[k] = _RateClass(k)
+        if flow.flow_id in cls.members:
+            return
+        if not cls.flows:
+            # Class wakes up: schedule it from now.
+            cls.deadline = self._slot_clock
+            cls.stamp += 1
+            self._deadlines.push((cls.deadline, cls.stamp, cls.k, cls))
+        cls.flows.append(flow)
+        cls.members.add(flow.flow_id)
+        cls.weight_sum += flow.weight
+
+    # -- scheduling --------------------------------------------------------
+
+    def dequeue(self) -> Optional[Packet]:
+        deadlines = self._deadlines
+        while deadlines:
+            _dl, stamp, _k, cls = deadlines.pop()
+            if stamp != cls.stamp or not cls.flows:
+                continue  # stale entry
+            packet = self._serve_class_slot(cls)
+            self._slot_clock += 1.0
+            if cls.flows:
+                # The class's aggregate rate is its backlogged weight
+                # share: one slot every Σw / weight_sum slot times.
+                cls.deadline += self._total_weight / cls.weight_sum
+                if cls.deadline < self._slot_clock:
+                    cls.deadline = self._slot_clock
+                cls.stamp += 1
+                deadlines.push((cls.deadline, cls.stamp, cls.k, cls))
+            else:
+                cls.stamp += 1  # class drained; invalidate
+            if packet is not None:
+                return self._account_departure(packet)
+        return None
+
+    def _serve_class_slot(self, cls: _RateClass) -> Optional[Packet]:
+        """One class slot: serve the head flow under its slot credit."""
+        self._ops.bump()  # ring-head access, same unit as SRR's node step
+        flow = cls.flows[0]
+        if not cls.head_charged:
+            # Charged once per headship: share * 2^k in (1, 2] credits.
+            flow.deficit += flow.weight * (1 << cls.k) / self._total_weight
+            cls.head_charged = True
+        packet = None
+        if flow.deficit >= 1.0 and flow.queue:
+            packet = flow.take()
+            flow.deficit -= 1.0
+        if not flow.queue:
+            flow.deficit = 0
+            cls.flows.popleft()
+            cls.members.discard(flow.flow_id)
+            cls.weight_sum -= flow.weight
+            cls.head_charged = False
+            # Drop the stratum assignment: the flow re-stratifies against
+            # the membership in force when it next becomes backlogged.
+            self._class_of.pop(flow.flow_id, None)
+        elif flow.deficit < 1.0:
+            cls.flows.rotate(-1)
+            cls.head_charged = False
+        # else: keep headship; the next class slot sends its 2nd packet.
+        return packet
+
+    # -- introspection -----------------------------------------------------
+
+    def class_populations(self) -> Dict[int, int]:
+        """Backlogged flows per stratum (diagnostics)."""
+        return {
+            k: len(cls.flows) for k, cls in self._classes.items() if cls.flows
+        }

@@ -1,0 +1,60 @@
+"""Virtual Clock (Zhang, SIGCOMM 1990) — the earliest timestamp scheduler.
+
+Each flow runs a private virtual clock at its reserved rate: packet ``p``
+of flow ``i`` is stamped ``VC_i = max(a_p, VC_i) + size / w_i`` where
+``a_p`` is its (real) arrival time, and the link serves the smallest
+stamp. Virtual Clock provides the same throughput guarantees as WFQ at
+plain O(log N) cost, but no *fairness* guarantee: a flow that idles
+builds no credit, while one that bursts ahead of its clock can be starved
+for long stretches afterwards (the classic criticism) — making it a
+useful contrast to SRR's strictly round-based allocation in E6.
+
+Real arrival times come from ``packet.enqueued_at`` (stamped by the
+output port); direct users driving the scheduler without a simulator can
+leave it 0, which degrades gracefully to pure per-flow accumulation.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Optional
+
+from ..core.flow import FlowState
+from ..core.interfaces import FlowTableScheduler
+from ..core.packet import Packet
+from ._heap import CountingHeap
+
+__all__ = ["VirtualClockScheduler"]
+
+
+class VirtualClockScheduler(FlowTableScheduler):
+    """Virtual Clock: per-flow clocks advanced by size/weight."""
+
+    name: ClassVar[str] = "vc"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._service = CountingHeap(op_counter=self._ops)
+
+    def enqueue(self, packet: Packet) -> bool:
+        flow = self._lookup(packet.flow_id)
+        if not super().enqueue(packet):
+            return False
+        arrival = packet.enqueued_at
+        start = arrival if flow.finish_tag < arrival else flow.finish_tag
+        stamp = start + packet.size / flow.weight
+        flow.finish_tag = stamp
+        self._service.push((stamp, packet.uid, packet, flow))
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        service = self._service
+        while service:
+            _stamp, _uid, packet, flow = service.pop()
+            if not flow.queue or flow.queue[0] is not packet:
+                continue  # stale (flow removed)
+            flow.take()
+            return self._account_departure(packet)
+        return None
+
+    def _on_flow_removed(self, flow: FlowState) -> None:
+        flow.finish_tag = 0.0

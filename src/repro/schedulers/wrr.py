@@ -1,0 +1,66 @@
+"""Weighted Round Robin — the classic weighted baseline SRR improves on.
+
+A flow of weight ``w`` is served ``w`` packets *consecutively* each round.
+Per-round throughput is exactly proportional to weight (same long-run
+allocation as SRR), but the service is maximally bursty: competing flows
+wait up to ``Σ w_j - w_i`` packet times between their bursts. Experiment
+E2 contrasts this burstiness with SRR's spread service.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import ClassVar, Deque, Optional
+
+from ..core.flow import FlowState
+from ..core.interfaces import FlowTableScheduler
+from ..core.packet import Packet
+
+__all__ = ["WRRScheduler"]
+
+
+class WRRScheduler(FlowTableScheduler):
+    """Classic weighted round robin (integer weights, per-packet credits)."""
+
+    name: ClassVar[str] = "wrr"
+    requires_integer_weights: ClassVar[bool] = True
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._active: Deque[FlowState] = deque()
+        self._active_set = set()
+        # Packets still owed to the flow at the head of the round.
+        self._credit = 0
+
+    def _on_backlogged(self, flow: FlowState) -> None:
+        if flow.flow_id not in self._active_set:
+            self._active.append(flow)
+            self._active_set.add(flow.flow_id)
+
+    def _on_flow_removed(self, flow: FlowState) -> None:
+        if flow.flow_id in self._active_set:
+            if self._active and self._active[0] is flow:
+                self._credit = 0
+            self._active.remove(flow)
+            self._active_set.discard(flow.flow_id)
+
+    def dequeue(self) -> Optional[Packet]:
+        ops = self._ops
+        active = self._active
+        while active:
+            ops.bump()
+            flow = active[0]
+            if self._credit == 0:
+                self._credit = int(flow.weight)
+            packet = flow.take()
+            self._credit -= 1
+            if not flow.queue:
+                # Drained mid-burst: forfeit remaining credit.
+                active.popleft()
+                self._active_set.discard(flow.flow_id)
+                self._credit = 0
+            elif self._credit == 0:
+                # Burst complete: rotate to the tail.
+                active.rotate(-1)
+            return self._account_departure(packet)
+        return None

@@ -1,0 +1,183 @@
+"""Tests for the analytic delay bounds."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.analysis import (
+    end_to_end_bound,
+    g3_delay_bound,
+    nonzero_bits,
+    rrr_delay_bound,
+    srr_delay_bound,
+    theta,
+    wfq_delay_bound,
+)
+
+
+class TestHelpers:
+    def test_nonzero_bits(self):
+        assert nonzero_bits(0) == 0
+        assert nonzero_bits(1) == 1
+        assert nonzero_bits(0b1011) == 3
+        with pytest.raises(ConfigurationError):
+            nonzero_bits(-1)
+
+    def test_theta_majorant(self):
+        assert theta(0) == 1.0
+        assert theta(5) == 5.0
+        with pytest.raises(ConfigurationError):
+            theta(-1)
+
+
+class TestSRRBound:
+    def test_linear_in_n(self):
+        """Theorem 1's defining property: the bound grows linearly with
+        the number of active flows."""
+        kw = dict(weight=4, packet_size=200, link_rate_bps=10e6,
+                  weight_unit_bps=16_000)
+        b100 = srr_delay_bound(n_flows=100, **kw)
+        b200 = srr_delay_bound(n_flows=200, **kw)
+        b400 = srr_delay_bound(n_flows=400, **kw)
+        assert b200 / b100 == pytest.approx(2.0, rel=0.01)
+        assert b400 / b100 == pytest.approx(4.0, rel=0.01)
+
+    def test_multi_bit_weight_adds_packet_terms(self):
+        single = srr_delay_bound(4, 10, 200, 10e6, 16_000)
+        multi = srr_delay_bound(7, 10, 200, 10e6, 16_000 * 4 / 7)
+        # Same rate but m=3 bits: the (m-1) L/r terms appear.
+        assert multi > single
+
+    def test_paper_scale_example(self):
+        """The simulation setup: f2 = 1024 kb/s on a 10 Mb/s link with
+        ~503 flows, L = 200 B. Weight unit = 16 kb/s -> w = 64."""
+        bound = srr_delay_bound(
+            weight=64,
+            n_flows=503,
+            packet_size=200,
+            link_rate_bps=10e6,
+            weight_unit_bps=16_000,
+        )
+        # theta(6) * 503 * 0.16ms ~ 483 ms per node: large, proportional
+        # to N — the paper's point about SRR.
+        assert 0.2 < bound < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            srr_delay_bound(0, 10, 200, 1e6, 1000)
+        with pytest.raises(ConfigurationError):
+            srr_delay_bound(1, 0, 200, 1e6, 1000)
+        with pytest.raises(ConfigurationError):
+            srr_delay_bound(1, 1, 0, 1e6, 1000)
+
+
+class TestRRRBound:
+    def test_grid_dependence(self):
+        """The paper's criticism: the same 32 kb/s flow has a much worse
+        RRR bound on a finer slot grid (more bits in its slot weight)."""
+        # 32 kb/s of 10 Mb/s. Grid 2^10: w = 3 (2 bits); grid 2^20:
+        # w = 3355 (many bits).
+        coarse_w = round(32_000 / 10e6 * 2**10)
+        fine_w = round(32_000 / 10e6 * 2**20)
+        coarse = rrr_delay_bound(coarse_w, 2**10, 200, 10e6)
+        fine = rrr_delay_bound(fine_w, 2**20, 200, 10e6)
+        assert fine > coarse * 1.5
+
+    def test_paper_number_300ms(self):
+        """Section II-C: r = 32 kb/s, C = 10 Mb/s, g = 20, L = 200 B,
+        m = 6 gives d ~ 300 ms."""
+        w = round(32_000 / 10e6 * 2**20)  # 3355: 7 set bits at this grid
+        bound = rrr_delay_bound(w, 2**20, 200, 10e6)
+        m = bin(w).count("1")
+        rate = w / 2**20 * 10e6
+        assert bound == pytest.approx(m * 200 * 8 / rate)
+        assert bound > 0.25  # hundreds of milliseconds, as the paper notes
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rrr_delay_bound(0, 16, 200, 1e6)
+        with pytest.raises(ConfigurationError):
+            rrr_delay_bound(1, 10, 200, 1e6)  # not a power of two
+
+
+class TestG3Bound:
+    def test_independent_of_n(self):
+        """Theorem 2 depends on capacity order and the flow, never on N —
+        there is no N parameter to pass at all; check scale instead."""
+        bound = g3_delay_bound(
+            weight=2, capacity_slots=625, packet_size=200, link_rate_bps=10e6
+        )
+        # theta(9)*0.16ms + 1*L/r - 0.16ms with r = 32 kb/s: ~51.3 ms.
+        assert 0.04 < bound < 0.08
+
+    def test_paper_fig9_bounds(self):
+        """Fig. 9 quotes G-3 upper bounds of ~122 ms (f1, 32 kb/s) and
+        ~25.8 ms (f2, 1024 kb/s) END TO END over two 10 Mb/s hops plus
+        20 ms propagation. Check the per-node pieces compose to the same
+        ballpark."""
+        f1 = g3_delay_bound(2, 625, 200, 10e6)     # 32 kb/s, w=2 (1 bit)
+        f2 = g3_delay_bound(64, 625, 200, 10e6)    # 1024 kb/s, w=64 (1 bit)
+        e2e_f1 = 2 * f1 + 0.020
+        e2e_f2 = 2 * f2 + 0.020
+        assert e2e_f1 == pytest.approx(0.122, abs=0.01)
+        assert e2e_f2 == pytest.approx(0.0258, abs=0.004)
+
+    def test_multibit_weights_pay_m_terms(self):
+        one_bit = g3_delay_bound(64, 255, 200, 10e6)
+        three_bits = g3_delay_bound(7 * 8, 255, 200, 10e6)
+        assert three_bits > one_bit
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            g3_delay_bound(0, 255, 200, 1e6)
+        with pytest.raises(ConfigurationError):
+            g3_delay_bound(300, 255, 200, 1e6)
+
+
+class TestDRRBound:
+    def test_frame_dependence(self):
+        """Like SRR, DRR's latency grows with the frame (i.e. with N)."""
+        from repro.analysis import drr_delay_bound
+
+        small = drr_delay_bound(1, 10, 200, 200, 10e6)
+        large = drr_delay_bound(1, 100, 200, 200, 10e6)
+        assert large > small * 8
+
+    def test_formula(self):
+        from repro.analysis import drr_delay_bound
+
+        # (3F - 2phi)/C + L/C with F = 10*500, phi = 2*500.
+        bound = drr_delay_bound(2, 10, 500, 200, 10e6)
+        expected = (3 * 5000 - 2 * 1000) * 8 / 10e6 + 200 * 8 / 10e6
+        assert bound == pytest.approx(expected)
+
+    def test_validation(self):
+        from repro.analysis import drr_delay_bound
+
+        with pytest.raises(ConfigurationError):
+            drr_delay_bound(0, 10, 200, 200, 1e6)
+        with pytest.raises(ConfigurationError):
+            drr_delay_bound(5, 2, 200, 200, 1e6)
+        with pytest.raises(ConfigurationError):
+            drr_delay_bound(1, 10, 0, 200, 1e6)
+
+
+class TestWFQAndE2E:
+    def test_wfq_bound_components(self):
+        bound = wfq_delay_bound(
+            sigma_bytes=1000, rate_bps=100_000, packet_size=200,
+            link_rate_bps=10e6,
+        )
+        expected = 1000 * 8 / 100_000 + 200 * 8 / 100_000 + 200 * 8 / 10e6
+        assert bound == pytest.approx(expected)
+
+    def test_e2e_composition(self):
+        total = end_to_end_bound(400, 32_000, [0.01, 0.02, 0.03])
+        assert total == pytest.approx(400 * 8 / 32_000 + 0.06)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wfq_delay_bound(-1, 1000, 200, 1e6)
+        with pytest.raises(ConfigurationError):
+            end_to_end_bound(0, 0, [0.1])
+        with pytest.raises(ConfigurationError):
+            end_to_end_bound(1, 1, [-0.1])

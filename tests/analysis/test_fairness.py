@@ -1,0 +1,186 @@
+"""Tests for repro.analysis.fairness."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.analysis import (
+    gap_statistics,
+    jain_index,
+    service_fairness_index,
+    worst_case_lag,
+)
+
+
+class TestJain:
+    def test_equal_shares_is_one(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_one_hog_is_one_over_n(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_intermediate(self):
+        idx = jain_index([4, 2])
+        assert 0.5 < idx < 1.0
+
+    def test_all_zero_vacuous(self):
+        assert jain_index([0, 0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            jain_index([])
+        with pytest.raises(ConfigurationError):
+            jain_index([1, -1])
+
+
+def interleaved_trace(n_rounds, size=100):
+    """Perfectly alternating a/b trace, 1 unit of time per packet."""
+    trace = []
+    t = 0.0
+    for _ in range(n_rounds):
+        for fid in ("a", "b"):
+            t += 1.0
+            trace.append((t, fid, size))
+    return trace
+
+
+def bursty_trace(n_rounds, burst=8, size=100):
+    """WRR-like: `burst` of a, then `burst` of b, per round."""
+    trace = []
+    t = 0.0
+    for _ in range(n_rounds):
+        for fid in ("a", "b"):
+            for _ in range(burst):
+                t += 1.0
+                trace.append((t, fid, size))
+    return trace
+
+
+class TestSFI:
+    def test_zero_for_perfect_interleave_full_window(self):
+        trace = interleaved_trace(50)
+        sfi = service_fairness_index(
+            trace, {"a": 1, "b": 1}, window=2.0, step=2.0
+        )
+        assert sfi == pytest.approx(0.0)
+
+    def test_bursty_trace_scores_worse(self):
+        smooth = service_fairness_index(
+            interleaved_trace(50), {"a": 1, "b": 1}, window=8.0
+        )
+        bursty = service_fairness_index(
+            bursty_trace(13), {"a": 1, "b": 1}, window=8.0
+        )
+        assert bursty > smooth + 100
+
+    def test_weights_normalise(self):
+        # a served twice as often with weight 2: perfectly fair.
+        trace = []
+        t = 0.0
+        for _ in range(30):
+            for fid in ("a", "a", "b"):
+                t += 1.0
+                trace.append((t, fid, 100))
+        sfi = service_fairness_index(
+            trace, {"a": 2, "b": 1}, window=3.0, step=3.0
+        )
+        assert sfi == pytest.approx(0.0)
+
+    def test_ignores_unlisted_flows(self):
+        trace = interleaved_trace(10) + [(100.0, "bg", 10000)]
+        sfi = service_fairness_index(trace, {"a": 1, "b": 1}, window=5.0)
+        assert sfi < 200
+
+    def test_empty_trace(self):
+        assert service_fairness_index([], {"a": 1}, window=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            service_fairness_index([(0, "a", 1)], {"a": 1}, window=0)
+
+
+class TestWorstCaseLag:
+    def test_interleaved_small_lag(self):
+        lag = worst_case_lag(interleaved_trace(50), {"a": 1, "b": 1})
+        assert lag["a"] <= 100
+        assert lag["b"] <= 100
+
+    def test_bursty_large_lag(self):
+        lag = worst_case_lag(bursty_trace(10, burst=8), {"a": 1, "b": 1})
+        # While a's burst of 8 is served, b falls ~4 packets behind.
+        assert lag["b"] >= 300
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            worst_case_lag([], {"a": 0})
+
+
+class TestWorstCaseFairness:
+    def make_records(self, events):
+        from repro.net import DeliveryRecord
+
+        return [
+            DeliveryRecord("f", seq, size, created, delivered)
+            for seq, (size, created, delivered) in enumerate(events)
+        ]
+
+    def test_exactly_served_at_rate_gives_zero(self):
+        # rate 8000 bps = 1000 B/s; 100 B packets arrive together at t=0
+        # and leave every 0.1 s: delay of packet k = (k+1)*0.1 =
+        # backlog/r exactly.
+        from repro.analysis import worst_case_fairness
+
+        events = [(100, 0.0, 0.1 * (k + 1)) for k in range(5)]
+        wcf = worst_case_fairness(self.make_records(events), 8000)
+        assert wcf == pytest.approx(0.0, abs=1e-12)
+
+    def test_late_service_measured(self):
+        from repro.analysis import worst_case_fairness
+
+        # Single packet, no backlog beyond itself: due at 0.1, left 0.5.
+        events = [(100, 0.0, 0.5)]
+        wcf = worst_case_fairness(self.make_records(events), 8000)
+        assert wcf == pytest.approx(0.4)
+
+    def test_early_service_negative(self):
+        from repro.analysis import worst_case_fairness
+
+        events = [(100, 0.0, 0.05)]
+        wcf = worst_case_fairness(self.make_records(events), 8000)
+        assert wcf < 0
+
+    def test_backlog_accounting(self):
+        from repro.analysis import worst_case_fairness
+
+        # Packet 0 arrives at 0 and leaves late at 1.0; packet 1 arrives
+        # at 0.5 (packet 0 still queued -> backlog 200 B -> due 0.7).
+        events = [(100, 0.0, 1.0), (100, 0.5, 1.1)]
+        wcf = worst_case_fairness(self.make_records(events), 8000)
+        assert wcf == pytest.approx(0.9)  # packet 0's lateness dominates
+
+    def test_validation(self):
+        from repro.analysis import worst_case_fairness
+
+        with pytest.raises(ConfigurationError):
+            worst_case_fairness([], 8000)
+        with pytest.raises(ConfigurationError):
+            worst_case_fairness([], 0)
+
+
+class TestGapStats:
+    def test_periodic_sequence(self):
+        seq = ["a", "b", "a", "b", "a", "b"]
+        g = gap_statistics(seq, "a")
+        assert g.min_gap == g.max_gap == 2
+        assert g.cv == 0.0
+        assert g.services == 3
+
+    def test_bursty_sequence(self):
+        seq = ["a", "a", "a", "b", "b", "b", "a", "a", "a", "b", "b", "b"]
+        g = gap_statistics(seq, "a")
+        assert g.max_gap == 4
+        assert g.min_gap == 1
+        assert g.cv > 0.5
+
+    def test_requires_two_services(self):
+        with pytest.raises(ConfigurationError):
+            gap_statistics(["a", "b", "b"], "a")

@@ -1,0 +1,73 @@
+"""Tests for repro.analysis.metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError
+from repro.analysis import jitter, percentile, summarize_delays
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        vals = [5.0, 1.0, 9.0]
+        assert percentile(vals, 0) == 1.0
+        assert percentile(vals, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_bounded_by_min_max(self, vals):
+        for q in (0, 25, 50, 75, 100):
+            p = percentile(vals, q)
+            assert min(vals) <= p <= max(vals)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize_delays([0.01, 0.02, 0.03, 0.04])
+        assert s.count == 4
+        assert s.mean == pytest.approx(0.025)
+        assert s.minimum == 0.01
+        assert s.maximum == 0.04
+        assert s.p50 == pytest.approx(0.025)
+
+    def test_constant_series(self):
+        s = summarize_delays([0.5] * 10)
+        assert s.stddev == 0.0
+        assert s.p99 == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_delays([])
+
+    def test_as_row_scales_to_ms(self):
+        s = summarize_delays([0.010, 0.020])
+        row = s.as_row()
+        assert row[0] == 2
+        assert row[1] == pytest.approx(15.0)  # mean in ms
+
+
+class TestJitter:
+    def test_constant_delay_no_jitter(self):
+        assert jitter([0.1, 0.1, 0.1]) == 0.0
+
+    def test_alternating(self):
+        assert jitter([0.1, 0.2, 0.1, 0.2]) == pytest.approx(0.1)
+
+    def test_short_series(self):
+        assert jitter([]) == 0.0
+        assert jitter([0.5]) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for service-curve utilities and table rendering."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.analysis import (
+    curve_from_finish_times,
+    format_table,
+    horizontal_deviation,
+    max_ideal_lag,
+)
+
+
+class TestCurves:
+    def test_curve_from_finish_times(self):
+        curve = curve_from_finish_times([0.3, 0.1, 0.2], 100)
+        assert curve == [(0.1, 100), (0.2, 200), (0.3, 300)]
+
+    def test_on_time_service_zero_deviation(self):
+        # 100 B every 0.1 s = 8000 bps exactly.
+        curve = [(0.1 * (i + 1), 100 * (i + 1)) for i in range(10)]
+        assert horizontal_deviation(curve, 8000) == pytest.approx(0.0)
+
+    def test_late_service_measured(self):
+        curve = [(0.5, 100)]  # 100 B due at 0.1 s, arrived at 0.5 s
+        assert horizontal_deviation(curve, 8000) == pytest.approx(0.4)
+
+    def test_early_service_clamped_to_zero(self):
+        curve = [(0.05, 100)]
+        assert horizontal_deviation(curve, 8000) == 0.0
+
+    def test_start_time_shift(self):
+        curve = [(1.1, 100)]
+        assert horizontal_deviation(curve, 8000, start_time=1.0) == pytest.approx(0.0)
+
+    def test_unordered_curve_rejected(self):
+        with pytest.raises(ConfigurationError):
+            horizontal_deviation([(0.2, 100), (0.1, 200)], 8000)
+
+    def test_max_ideal_lag_matches_definition(self):
+        # Packets due at 0.1, 0.2, 0.3; actual 0.1, 0.25, 0.31.
+        lag = max_ideal_lag([0.1, 0.25, 0.31], 8000, 100)
+        assert lag == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            curve_from_finish_times([0.1], 0)
+        with pytest.raises(ConfigurationError):
+            max_ideal_lag([0.1], 0, 100)
+
+
+class TestTables:
+    def test_alignment_and_rule(self):
+        out = format_table(
+            ["name", "value"],
+            [["srr", 1.5], ["wfq", 22.125]],
+            precision=2,
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}
+        assert "1.50" in lines[2]
+        assert "22.12" in lines[3]
+        # Columns align: every line equally... rule spans the header.
+        assert len(lines[1]) == len(lines[0])
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="E1: demo")
+        assert out.splitlines()[0] == "E1: demo"
+
+    def test_non_float_cells(self):
+        out = format_table(["x"], [[True], ["text"], [3]])
+        assert "True" in out and "text" in out and "3" in out

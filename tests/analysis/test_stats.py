@@ -1,0 +1,53 @@
+"""Tests for replication statistics."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.analysis.stats import (
+    ReplicationSummary,
+    summarize_replications,
+    t_critical,
+)
+
+
+class TestTCritical:
+    def test_small_df_values(self):
+        assert t_critical(1) == pytest.approx(12.706)
+        assert t_critical(4) == pytest.approx(2.776)
+        assert t_critical(30) == pytest.approx(2.042)
+
+    def test_large_df_normal(self):
+        assert t_critical(200) == pytest.approx(1.96)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            t_critical(0)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize_replications([5.0])
+        assert s.mean == 5.0
+        assert s.ci95 == 0.0
+        assert s.n == 1
+
+    def test_known_case(self):
+        # Values 1..5: mean 3, sample std sqrt(2.5).
+        s = summarize_replications([1, 2, 3, 4, 5])
+        assert s.mean == 3.0
+        assert s.stddev == pytest.approx(2.5 ** 0.5)
+        expected_ci = 2.776 * s.stddev / 5 ** 0.5
+        assert s.ci95 == pytest.approx(expected_ci)
+        assert s.low == pytest.approx(3 - expected_ci)
+        assert s.high == pytest.approx(3 + expected_ci)
+
+    def test_zero_variance(self):
+        s = summarize_replications([2.0, 2.0, 2.0])
+        assert s.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_replications([])
+
+    def test_str_format(self):
+        assert "n=3" in str(summarize_replications([1.0, 2.0, 3.0]))

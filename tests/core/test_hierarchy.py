@@ -1,0 +1,163 @@
+"""Tests for hierarchical link sharing (class tree of schedulers)."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    DuplicateFlowError,
+    Packet,
+    SRRScheduler,
+    UnknownFlowError,
+)
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.schedulers import DRRScheduler, WFQScheduler
+
+
+def make_two_class(root_w=(3, 1)):
+    """Root SRR sharing 3:1 between 'voice' and 'data', SRR inside each."""
+    h = HierarchicalScheduler(SRRScheduler())
+    h.add_class("voice", root_w[0], scheduler=SRRScheduler())
+    h.add_class("data", root_w[1], scheduler=SRRScheduler())
+    return h
+
+
+def drain_ids(h, limit=100000):
+    out = []
+    for _ in range(limit):
+        p = h.dequeue()
+        if p is None:
+            break
+        out.append(p.flow_id)
+    return out
+
+
+class TestStructure:
+    def test_duplicate_class_rejected(self):
+        h = make_two_class()
+        with pytest.raises(ConfigurationError):
+            h.add_class("voice", 1, scheduler=SRRScheduler())
+
+    def test_flow_requires_class(self):
+        h = make_two_class()
+        with pytest.raises(ConfigurationError):
+            h.add_flow("f", 1)
+        with pytest.raises(ConfigurationError):
+            h.add_flow("f", 1, class_id="nope")
+
+    def test_duplicate_flow_rejected(self):
+        h = make_two_class()
+        h.add_flow("f", 1, class_id="voice")
+        with pytest.raises(DuplicateFlowError):
+            h.add_flow("f", 1, class_id="data")
+
+    def test_unknown_flow_operations(self):
+        h = make_two_class()
+        with pytest.raises(UnknownFlowError):
+            h.enqueue(Packet("ghost", 100))
+        with pytest.raises(UnknownFlowError):
+            h.remove_flow("ghost")
+
+    def test_remove_class(self):
+        h = make_two_class()
+        h.add_flow("v1", 1, class_id="voice")
+        h.enqueue(Packet("v1", 100))
+        dropped = h.remove_class("voice")
+        assert dropped == 1
+        assert not h.has_flow("v1")
+        with pytest.raises(ConfigurationError):
+            h.child("voice")
+
+
+class TestScheduling:
+    def test_interclass_shares_follow_root_weights(self):
+        h = make_two_class(root_w=(3, 1))
+        h.add_flow("v1", 1, class_id="voice")
+        h.add_flow("d1", 1, class_id="data")
+        for i in range(400):
+            h.enqueue(Packet("v1", 100, seq=i))
+            h.enqueue(Packet("d1", 100, seq=i))
+        seq = drain_ids(h, limit=400)
+        assert seq.count("v1") / seq.count("d1") == pytest.approx(3.0, rel=0.05)
+
+    def test_intraclass_shares_follow_child_weights(self):
+        h = make_two_class(root_w=(1, 1))
+        h.add_flow("a", 4, class_id="voice")
+        h.add_flow("b", 1, class_id="voice")
+        h.add_flow("d", 1, class_id="data")
+        for i in range(500):
+            h.enqueue(Packet("a", 100, seq=i))
+            h.enqueue(Packet("b", 100, seq=i))
+            h.enqueue(Packet("d", 100, seq=i))
+        seq = drain_ids(h, limit=500)
+        # Voice and data split 1:1; inside voice, a:b = 4:1.
+        voice = seq.count("a") + seq.count("b")
+        assert voice / seq.count("d") == pytest.approx(1.0, rel=0.1)
+        assert seq.count("a") / seq.count("b") == pytest.approx(4.0, rel=0.15)
+
+    def test_idle_class_yields_bandwidth(self):
+        h = make_two_class(root_w=(3, 1))
+        h.add_flow("d1", 1, class_id="data")
+        for i in range(10):
+            h.enqueue(Packet("d1", 100, seq=i))
+        assert drain_ids(h) == ["d1"] * 10
+
+    def test_work_conserving_and_counts(self):
+        h = make_two_class()
+        h.add_flow("v1", 2, class_id="voice")
+        h.add_flow("d1", 1, class_id="data")
+        for i in range(7):
+            h.enqueue(Packet("v1", 100, seq=i))
+        for i in range(5):
+            h.enqueue(Packet("d1", 200, seq=i))
+        assert h.backlog == 12
+        assert h.backlog_bytes == 7 * 100 + 5 * 200
+        out = drain_ids(h)
+        assert len(out) == 12
+        assert h.backlog == 0
+        assert h.dequeue() is None
+
+    def test_per_flow_fifo_preserved(self):
+        h = make_two_class()
+        h.add_flow("v1", 1, class_id="voice")
+        packets = [Packet("v1", 100, seq=i) for i in range(5)]
+        for p in packets:
+            h.enqueue(p)
+        got = [h.dequeue() for _ in range(5)]
+        assert [p.seq for p in got] == [0, 1, 2, 3, 4]
+
+    def test_mixed_disciplines(self):
+        """WFQ between classes, DRR inside one, SRR inside the other."""
+        h = HierarchicalScheduler(WFQScheduler())
+        h.add_class("gold", 2.0, scheduler=DRRScheduler(quantum=200))
+        h.add_class("silver", 1.0, scheduler=SRRScheduler())
+        h.add_flow("g1", 1, class_id="gold")
+        h.add_flow("s1", 1, class_id="silver")
+        for i in range(300):
+            h.enqueue(Packet("g1", 100, seq=i))
+            h.enqueue(Packet("s1", 100, seq=i))
+        seq = drain_ids(h, limit=300)
+        assert seq.count("g1") / seq.count("s1") == pytest.approx(2.0, rel=0.1)
+
+    def test_remove_flow_resyncs_tokens(self):
+        h = make_two_class()
+        h.add_flow("v1", 1, class_id="voice")
+        h.add_flow("v2", 1, class_id="voice")
+        h.add_flow("d1", 1, class_id="data")
+        for i in range(4):
+            h.enqueue(Packet("v1", 100, seq=i))
+            h.enqueue(Packet("v2", 100, seq=i))
+            h.enqueue(Packet("d1", 100, seq=i))
+        dropped = h.remove_flow("v1")
+        assert dropped == 4
+        out = drain_ids(h)
+        assert len(out) == 8
+        assert "v1" not in out
+        assert out.count("v2") == 4 and out.count("d1") == 4
+
+    def test_flow_listing(self):
+        h = make_two_class()
+        h.add_flow("v1", 1, class_id="voice")
+        h.add_flow("d1", 1, class_id="data")
+        assert set(h.flow_ids()) == {"v1", "d1"}
+        assert set(h.class_ids()) == {"voice", "data"}
+        assert h.has_flow("v1") and not h.has_flow("x")

@@ -1,0 +1,115 @@
+"""Tests for OpCounter, the scheduler base class, and misc core paths."""
+
+import pytest
+
+from repro.core import (
+    NULL_COUNTER,
+    FlowTableScheduler,
+    InvalidWeightError,
+    NullOpCounter,
+    OpCounter,
+    Packet,
+    SRRScheduler,
+)
+
+
+class TestOpCounter:
+    def test_bump_and_reset(self):
+        ops = OpCounter()
+        ops.bump()
+        ops.bump(5)
+        assert ops.count == 6
+        ops.reset()
+        assert ops.count == 0
+
+    def test_null_counter_ignores(self):
+        ops = NullOpCounter()
+        ops.bump(100)
+        assert ops.count == 0
+
+    def test_shared_null_instance(self):
+        NULL_COUNTER.bump(7)
+        assert NULL_COUNTER.count == 0
+
+    def test_repr(self):
+        ops = OpCounter()
+        ops.bump(3)
+        assert "3" in repr(ops)
+
+
+class _MinimalScheduler(FlowTableScheduler):
+    """FlowTableScheduler subclass with trivial FIFO-ish service, used to
+    exercise the base-class plumbing in isolation."""
+
+    name = "minimal"
+
+    def dequeue(self):
+        for flow in self._flows.values():
+            if flow.queue:
+                return self._account_departure(flow.take())
+        return None
+
+
+class TestFlowTableSchedulerBase:
+    def test_hooks_default_noop(self):
+        s = _MinimalScheduler()
+        s.add_flow("a", 1.5)  # float allowed: not integer-weight class
+        s.enqueue(Packet("a", 10))
+        assert s.dequeue().flow_id == "a"
+
+    def test_weight_validation_non_integer_class(self):
+        s = _MinimalScheduler()
+        with pytest.raises(InvalidWeightError):
+            s.add_flow("a", 0)
+        with pytest.raises(InvalidWeightError):
+            s.add_flow("a", -2.5)
+        with pytest.raises(InvalidWeightError):
+            s.add_flow("a", "heavy")
+        with pytest.raises(InvalidWeightError):
+            s.add_flow("a", True)
+
+    def test_flow_count_property(self):
+        s = _MinimalScheduler()
+        assert s.flow_count == 0
+        s.add_flow("a", 1)
+        s.add_flow("b", 1)
+        assert s.flow_count == 2
+        s.remove_flow("a")
+        assert s.flow_count == 1
+
+    def test_len_matches_backlog(self):
+        s = _MinimalScheduler()
+        s.add_flow("a", 1)
+        s.enqueue(Packet("a", 10))
+        assert len(s) == s.backlog == 1
+
+    def test_repr_mentions_state(self):
+        s = _MinimalScheduler()
+        s.add_flow("a", 1)
+        r = repr(s)
+        assert "flows=1" in r and "backlog=0" in r
+
+
+class TestSRRMisc:
+    def test_repr(self):
+        s = SRRScheduler()
+        s.add_flow("a", 3)
+        s.enqueue(Packet("a", 10))
+        r = repr(s)
+        assert "mode='packet'" in r and "order=2" in r
+
+    def test_column_populations_diagnostic(self):
+        s = SRRScheduler()
+        s.add_flow("a", 0b101)
+        s.add_flow("b", 0b001)
+        s.enqueue(Packet("a", 10))
+        s.enqueue(Packet("b", 10))
+        assert s.column_populations() == [2, 0, 1]
+
+    def test_scan_position_visibility(self):
+        s = SRRScheduler()
+        s.add_flow("a", 1)
+        s.enqueue(Packet("a", 10))
+        assert s.scan_position == 0
+        s.dequeue()
+        assert s.scan_position >= 1

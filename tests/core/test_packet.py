@@ -1,0 +1,38 @@
+"""Tests for repro.core.packet."""
+
+import pytest
+
+from repro.core.packet import Packet
+
+
+class TestPacket:
+    def test_basic_fields(self):
+        p = Packet("f1", size=200, created_at=1.5, seq=3)
+        assert p.flow_id == "f1"
+        assert p.size == 200
+        assert p.created_at == 1.5
+        assert p.seq == 3
+        assert p.delivered_at is None
+
+    def test_uids_are_unique_and_increasing(self):
+        a = Packet("f", 10)
+        b = Packet("f", 10)
+        assert a.uid != b.uid
+        assert b.uid > a.uid
+
+    def test_delay_none_until_delivered(self):
+        p = Packet("f", 10, created_at=2.0)
+        assert p.delay is None
+        p.delivered_at = 2.75
+        assert p.delay == pytest.approx(0.75)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            Packet("f", 0)
+        with pytest.raises(ValueError):
+            Packet("f", -5)
+
+    def test_repr_is_compact(self):
+        p = Packet("f1", 100, created_at=0.5, seq=7)
+        r = repr(p)
+        assert "f1" in r and "100" in r and "seq=7" in r

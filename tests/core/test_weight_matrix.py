@@ -1,0 +1,157 @@
+"""Tests for repro.core.weight_matrix."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.flow import FlowState
+from repro.core.weight_matrix import ColumnList, WeightMatrix
+
+
+def make_flow(fid, weight):
+    return FlowState(fid, weight)
+
+
+class TestColumnList:
+    def test_append_and_iterate(self):
+        col = ColumnList(0)
+        f1, f2 = make_flow("a", 1), make_flow("b", 1)
+        col.append(f1.nodes[0])
+        col.append(f2.nodes[0])
+        assert [f.flow_id for f in col] == ["a", "b"]
+        assert len(col) == 2
+
+    def test_unlink_middle(self):
+        col = ColumnList(0)
+        flows = [make_flow(i, 1) for i in range(3)]
+        for f in flows:
+            col.append(f.nodes[0])
+        col.unlink(flows[1].nodes[0])
+        assert [f.flow_id for f in col] == [0, 2]
+
+    def test_unlink_head_and_tail(self):
+        col = ColumnList(0)
+        flows = [make_flow(i, 1) for i in range(3)]
+        for f in flows:
+            col.append(f.nodes[0])
+        col.unlink(flows[0].nodes[0])
+        col.unlink(flows[2].nodes[0])
+        assert [f.flow_id for f in col] == [1]
+
+    def test_double_append_raises(self):
+        col = ColumnList(0)
+        f = make_flow("a", 1)
+        col.append(f.nodes[0])
+        with pytest.raises(ConfigurationError):
+            col.append(f.nodes[0])
+
+    def test_unlink_unlinked_raises(self):
+        col = ColumnList(0)
+        f = make_flow("a", 1)
+        with pytest.raises(ConfigurationError):
+            col.unlink(f.nodes[0])
+
+    def test_first_returns_tail_sentinel_when_empty(self):
+        col = ColumnList(0)
+        assert col.first() is col.tail
+        assert col.first().flow is None
+
+
+class TestWeightMatrix:
+    def test_insert_links_all_weight_bits(self):
+        wm = WeightMatrix()
+        f = make_flow("a", 0b1011)  # bits 0, 1, 3
+        wm.insert(f)
+        assert f.in_matrix
+        assert wm.column_population(0) == 1
+        assert wm.column_population(1) == 1
+        assert wm.column_population(2) == 0
+        assert wm.column_population(3) == 1
+        assert wm.flow_count == 1
+
+    def test_order_tracks_highest_nonempty_column(self):
+        wm = WeightMatrix()
+        assert wm.order == 0
+        a = make_flow("a", 1)
+        wm.insert(a)
+        assert wm.order == 1
+        b = make_flow("b", 12)  # bits 2, 3
+        wm.insert(b)
+        assert wm.order == 4
+        wm.remove(b)
+        assert wm.order == 1
+        wm.remove(a)
+        assert wm.order == 0
+        assert wm.empty
+
+    def test_order_with_shared_columns(self):
+        wm = WeightMatrix()
+        a, b = make_flow("a", 4), make_flow("b", 4)
+        wm.insert(a)
+        wm.insert(b)
+        assert wm.order == 3
+        wm.remove(a)
+        assert wm.order == 3  # column 2 still has b
+        wm.remove(b)
+        assert wm.order == 0
+
+    def test_rejects_weight_wider_than_matrix(self):
+        wm = WeightMatrix(max_order=4)
+        with pytest.raises(ConfigurationError):
+            wm.insert(make_flow("a", 16))
+
+    def test_rejects_bad_max_order(self):
+        with pytest.raises(ConfigurationError):
+            WeightMatrix(max_order=0)
+        with pytest.raises(ConfigurationError):
+            WeightMatrix(max_order=63)
+
+    def test_reinsert_after_remove(self):
+        wm = WeightMatrix()
+        f = make_flow("a", 5)
+        wm.insert(f)
+        wm.remove(f)
+        wm.insert(f)
+        assert f.in_matrix
+        assert wm.column_population(0) == 1
+        assert wm.column_population(2) == 1
+        wm.check_invariants()
+
+    def test_invariant_checker_passes_on_valid_state(self):
+        wm = WeightMatrix()
+        flows = [make_flow(i, w) for i, w in enumerate([1, 2, 3, 7, 8, 21])]
+        for f in flows:
+            wm.insert(f)
+        wm.check_invariants()
+        wm.remove(flows[3])
+        wm.check_invariants()
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=1023), min_size=1, max_size=40),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_insert_remove_keeps_invariants(self, weights, data):
+        wm = WeightMatrix()
+        flows = [make_flow(i, w) for i, w in enumerate(weights)]
+        inserted = []
+        for f in flows:
+            wm.insert(f)
+            inserted.append(f)
+        # Remove a random subset, checking invariants as we go.
+        to_remove = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(flows) - 1),
+                unique=True,
+            )
+        )
+        for idx in to_remove:
+            wm.remove(flows[idx])
+            inserted.remove(flows[idx])
+            wm.check_invariants()
+        expected_mask = 0
+        for f in inserted:
+            expected_mask |= int(f.weight)
+        assert wm.order == expected_mask.bit_length()
+        assert wm.flow_count == len(inserted)

@@ -1,0 +1,190 @@
+"""Tests for the PWBT buddy allocator (split/merge/List_l/shaping)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AdmissionError, ConfigurationError
+from repro.extensions.pwbt import PWBTAllocator
+
+
+class TestAllocation:
+    def test_fresh_tree_one_free_root(self):
+        t = PWBTAllocator(4)
+        assert t.free_slots == 16
+        assert t.free_blocks(4) == [0]
+        assert t.largest_free_exponent() == 4
+
+    def test_paper_fig1_allocation_layout(self):
+        """Fig. 1: f1 (1/16), f2 (1/8), f3, f4 (1/4 each) on a depth-4
+        tree land at v(4,0), v(3,1), v(2,1), v(2,2)."""
+        t = PWBTAllocator(4)
+        assert t.allocate(0, "f1") == 0   # v(4,0): offset 0
+        assert t.allocate(1, "f2") == 2   # v(3,1): offset 2
+        assert t.allocate(2, "f3") == 4   # v(2,1): offset 4
+        assert t.allocate(2, "f4") == 8   # v(2,2): offset 8
+        # Free remainder: v(4,1) and v(2,3).
+        assert t.free_blocks(0) == [1]
+        assert t.free_blocks(2) == [12]
+        assert t.free_slots == 5
+        t.check_invariants()
+
+    def test_split_produces_buddies(self):
+        t = PWBTAllocator(3)
+        t.allocate(0, "a")
+        assert t.free_blocks(0) == [1]
+        assert t.free_blocks(1) == [2]
+        assert t.free_blocks(2) == [4]
+
+    def test_exact_fit_preferred(self):
+        t = PWBTAllocator(3)
+        t.allocate(1, "a")  # splits root
+        t.allocate(1, "b")  # must take the existing free e=1 block
+        assert t.free_blocks(1) == []
+        assert t.free_blocks(2) == [4]
+
+    def test_full_tree_rejects(self):
+        t = PWBTAllocator(2)
+        t.allocate(2, "a")
+        with pytest.raises(AdmissionError):
+            t.allocate(0, "b")
+
+    def test_fragmentation_rejects_despite_capacity(self):
+        """The G-3 bandwidth-fragmentation problem: free slots exist but
+        no contiguous block of the needed size."""
+        t = PWBTAllocator(2)
+        blocks = [t.allocate(0, f"f{i}") for i in range(4)]
+        t.free(blocks[0], 0)
+        t.free(blocks[2], 0)
+        assert t.free_slots == 2
+        with pytest.raises(AdmissionError):
+            t.allocate(1, "big")
+
+    def test_owner_at(self):
+        t = PWBTAllocator(3)
+        t.allocate(1, "a")  # offset 0, slots 0-1
+        t.allocate(0, "b")  # offset 2
+        assert t.owner_at(0) == "a"
+        assert t.owner_at(1) == "a"
+        assert t.owner_at(2) == "b"
+        assert t.owner_at(3) is None
+        with pytest.raises(ConfigurationError):
+            t.owner_at(8)
+
+    def test_allocation_listing(self):
+        t = PWBTAllocator(3)
+        t.allocate(1, "a")
+        t.allocate(0, "b")
+        assert t.allocations() == [(0, 1, "a"), (2, 0, "b")]
+        assert t.allocations_within(0, 2) == [(0, 1, "a"), (2, 0, "b")]
+        assert t.allocations_within(4, 2) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PWBTAllocator(-1)
+        with pytest.raises(ConfigurationError):
+            PWBTAllocator(31)
+        t = PWBTAllocator(3)
+        with pytest.raises(ConfigurationError):
+            t.allocate(4, "a")
+
+
+class TestFreeAndMerge:
+    def test_free_coalesces_buddies(self):
+        t = PWBTAllocator(3)
+        a = t.allocate(0, "a")
+        b = t.allocate(0, "b")
+        t.free(a, 0)
+        t.free(b, 0)
+        # Everything merged back to the root block.
+        assert t.free_blocks(3) == [0]
+        t.check_invariants()
+
+    def test_free_without_buddy_stays(self):
+        t = PWBTAllocator(3)
+        a = t.allocate(0, "a")
+        t.allocate(0, "b")
+        t.free(a, 0)
+        assert t.free_blocks(0) == [0]
+        t.check_invariants()
+
+    def test_double_free_raises(self):
+        t = PWBTAllocator(3)
+        a = t.allocate(0, "a")
+        t.free(a, 0)
+        with pytest.raises(ConfigurationError):
+            t.free(a, 0)
+
+    def test_free_wrong_exponent_raises(self):
+        t = PWBTAllocator(3)
+        a = t.allocate(1, "a")
+        with pytest.raises(ConfigurationError):
+            t.free(a, 0)
+        t.check_invariants()
+        assert t.owner_at(a) == "a"  # allocation untouched
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_random_alloc_free_invariants(self, data):
+        t = PWBTAllocator(6)
+        live = []
+        for step in range(data.draw(st.integers(0, 60))):
+            if live and data.draw(st.booleans()):
+                off, e = live.pop(data.draw(st.integers(0, len(live) - 1)))
+                t.free(off, e)
+            else:
+                e = data.draw(st.integers(0, 4))
+                try:
+                    off = t.allocate(e, f"f{step}")
+                except AdmissionError:
+                    continue
+                live.append((off, e))
+            t.check_invariants()
+        total = sum(1 << e for _off, e in live)
+        assert t.allocated_slots == total
+
+
+class TestRelocate:
+    def test_relocate_whole_block(self):
+        """The paper's Fig. 6 swapping: move an allocated sibling onto a
+        distant free block so the local buddies can merge."""
+        t = PWBTAllocator(2)
+        blocks = [t.allocate(0, f"f{i}") for i in range(4)]  # slots 0-3
+        # Free f0 and f2 -> two free e=0 blocks (0 and 2): fragmentation.
+        t.free(blocks[0], 0)
+        t.free(blocks[2], 0)
+        with pytest.raises(AdmissionError):
+            t.allocate(1, "big")
+        # Move f1 (slot 1, buddy of free slot 0) onto free slot 2.
+        moves = t.relocate((1, 0), (2, 0))
+        assert moves == [(2, 0, "f1")]
+        t.check_invariants()
+        # Buddies 0+1 merged: an e=1 allocation now fits.
+        t.allocate(1, "big")
+        t.check_invariants()
+
+    def test_relocate_subdivided_block(self):
+        t = PWBTAllocator(4)
+        t.allocate(2, "whole")          # offset 0 (slots 0-3)
+        a = t.allocate(0, "a")          # offset 4
+        assert a == 4
+        b = t.allocate(0, "b")          # offset 5
+        assert b == 5
+        t.allocate(2, "other")          # offset 8
+        t.free(5, 0)                    # sub-free inside block (4, e=2)
+        # Block (4, e=2) is subdivided: a at 4, free 5, free (6, e=1).
+        moves = t.relocate((4, 2), (12, 2))
+        assert (12, 0, "a") in moves
+        t.check_invariants()
+        assert t.owner_at(12) == "a"
+        assert t.owner_at(4) is None
+        # Source region coalesced back into a free e=2 block.
+        assert 4 in t.free_blocks(2)
+
+    def test_relocate_validation(self):
+        t = PWBTAllocator(3)
+        t.allocate(1, "a")
+        with pytest.raises(ConfigurationError):
+            t.relocate((0, 1), (4, 2))  # size mismatch
+        with pytest.raises(ConfigurationError):
+            t.relocate((0, 1), (0, 1))  # destination not free

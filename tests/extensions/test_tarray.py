@@ -1,0 +1,93 @@
+"""Tests for the Time-Slot Array (the spread PWBT of G-3)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.extensions.pwbt import PWBTAllocator
+from repro.extensions.tarray import TimeSlotArray
+from repro.extensions.tss import tss_sequence
+
+
+class TestFullyExpanded:
+    def test_paper_fig3_tarray(self):
+        """Fig. 3 / Section III-B: the depth-4 PWBT with f1@v(4,0),
+        f2@v(3,1), f3@v(2,1), f4@v(2,2) spreads to
+        f1 f4 f3 . f2 f4 f3 . . f4 f3 . f2 f4 f3 .   (. = idle/f0)."""
+        ta = TimeSlotArray(4)
+        ta.write_block(0, 0, "f1")
+        ta.write_block(2, 1, "f2")
+        ta.write_block(4, 2, "f3")
+        ta.write_block(8, 2, "f4")
+        expected = [
+            "f1", "f4", "f3", None, "f2", "f4", "f3", None,
+            None, "f4", "f3", None, "f2", "f4", "f3", None,
+        ]
+        assert ta.service_order() == expected
+
+    def test_write_block_returns_entry_count(self):
+        ta = TimeSlotArray(4)
+        assert ta.write_block(4, 2, "x") == 4
+        assert ta.write_block(0, 0, "y") == 1
+
+    def test_overwrite_with_none_frees(self):
+        ta = TimeSlotArray(3)
+        ta.write_block(0, 3, "a")
+        ta.write_block(0, 3, None)
+        assert ta.service_order() == [None] * 8
+
+    def test_owner_positions_follow_bit_reversal(self):
+        ta = TimeSlotArray(3)
+        ta.write_block(2, 1, "x")  # node v(2,1): leaves 2,3
+        seq = tss_sequence(3)
+        for p in range(8):
+            expected = "x" if seq[p] in (2, 3) else None
+            assert ta.owner(p) == expected
+
+    def test_validation(self):
+        ta = TimeSlotArray(3)
+        with pytest.raises(ConfigurationError):
+            ta.owner(8)
+        with pytest.raises(ConfigurationError):
+            ta.write_block(1, 1, "a")  # misaligned
+        with pytest.raises(ConfigurationError):
+            ta.write_block(0, 4, "a")  # exponent too large
+        with pytest.raises(ConfigurationError):
+            TimeSlotArray(-1)
+        with pytest.raises(ConfigurationError):
+            TimeSlotArray(4, expanded_levels=5)
+
+
+class TestPartialExpansion:
+    """The Section IV-B space-time tradeoff: expand only the top levels."""
+
+    def build(self, expanded):
+        alloc = PWBTAllocator(4)
+        ta = TimeSlotArray(4, expanded_levels=expanded)
+        ta.set_owner_lookup(alloc.owner_at)
+        layout = [("f1", 0), ("f2", 1), ("f3", 2), ("f4", 2)]
+        for owner, e in layout:
+            off = alloc.allocate(e, owner)
+            ta.write_block(off, e, owner)
+        return alloc, ta
+
+    @pytest.mark.parametrize("expanded", [0, 1, 2, 3, 4])
+    def test_same_service_order_any_expansion(self, expanded):
+        _alloc, full = self.build(4)
+        _alloc2, partial = self.build(expanded)
+        assert partial.service_order() == full.service_order()
+
+    def test_storage_shrinks(self):
+        _a, ta = self.build(2)
+        assert ta.storage_entries == 4
+        _a, full = self.build(4)
+        assert full.storage_entries == 16
+
+    def test_deep_blocks_resolved_by_lookup(self):
+        alloc = PWBTAllocator(4)
+        ta = TimeSlotArray(4, expanded_levels=1)
+        ta.set_owner_lookup(alloc.owner_at)
+        off = alloc.allocate(0, "deep")  # a single leaf, level 4 > 1
+        written = ta.write_block(off, 0, "deep")
+        assert written == 0  # nothing stored; resolved via the walk
+        order = ta.service_order()
+        assert order.count("deep") == 1

@@ -1,0 +1,138 @@
+"""Tests for the Time-Slot Sequence / bit-reversal machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.extensions.tss import (
+    first_slot_after,
+    node_slot_positions,
+    reverse_bits,
+    tss_sequence,
+    tss_sequence_recursive,
+    tss_term,
+)
+
+
+class TestReverseBits:
+    def test_paper_examples(self):
+        # RB(011b, 3) = 110b = 6 and RB(0001b, 4) = 1000b = 8.
+        assert reverse_bits(0b011, 3) == 6
+        assert reverse_bits(0b0001, 4) == 8
+
+    def test_zero_width(self):
+        assert reverse_bits(0, 0) == 0
+
+    def test_palindromes(self):
+        assert reverse_bits(0b101, 3) == 0b101
+        assert reverse_bits(0b1001, 4) == 0b1001
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_involution(self, v):
+        assert reverse_bits(reverse_bits(v, 20), 20) == v
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            reverse_bits(8, 3)
+        with pytest.raises(ConfigurationError):
+            reverse_bits(-1, 3)
+        with pytest.raises(ConfigurationError):
+            reverse_bits(0, -1)
+
+
+class TestTSS:
+    def test_paper_small_orders(self):
+        assert tss_sequence(0) == [0]
+        assert tss_sequence(1) == [0, 1]
+        assert tss_sequence(2) == [0, 2, 1, 3]
+        assert tss_sequence(3) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_paper_order_4(self):
+        # Eq. (14): the leaf-visit order of the RRR walk on Fig. 3.
+        assert tss_sequence(4) == [
+            0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15,
+        ]
+
+    @pytest.mark.parametrize("order", range(0, 11))
+    def test_lemma4_closed_form_matches_recursion(self, order):
+        assert tss_sequence(order) == tss_sequence_recursive(order)
+
+    @pytest.mark.parametrize("order", range(0, 11))
+    def test_is_permutation(self, order):
+        seq = tss_sequence(order)
+        assert sorted(seq) == list(range(2**order))
+
+    def test_term_bounds(self):
+        with pytest.raises(ConfigurationError):
+            tss_term(4, 2)
+        with pytest.raises(ConfigurationError):
+            tss_term(-1, 2)
+        with pytest.raises(ConfigurationError):
+            tss_term(0, -1)
+
+
+class TestNodeSlotPositions:
+    def test_paper_example_node_2_1(self):
+        """Fig. 3: node v(2,1) owns leaves 4..7, which appear at TArray
+        positions 2, 6, 10, 14 (stride 2^2, base RB(1,2)=2)."""
+        positions = node_slot_positions(2, 1, 4)
+        assert positions == [2, 6, 10, 14]
+        seq = tss_sequence(4)
+        assert [seq[p] for p in positions] == [4, 6, 5, 7]  # leaves of v(2,1)
+
+    def test_root_owns_everything(self):
+        assert node_slot_positions(0, 0, 3) == list(range(8))
+
+    def test_leaf_single_position(self):
+        # Leaf v(4, 9) appears once, at position RB(9, 4) = 9 reversed.
+        positions = node_slot_positions(4, 9, 4)
+        assert len(positions) == 1
+        assert tss_sequence(4)[positions[0]] == 9
+
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_lemma5_even_stride(self, order, data):
+        level = data.draw(st.integers(min_value=0, max_value=order))
+        index = data.draw(st.integers(min_value=0, max_value=2**level - 1))
+        positions = node_slot_positions(level, index, order)
+        # Evenly spread with stride 2^level...
+        gaps = {b - a for a, b in zip(positions, positions[1:])}
+        assert gaps <= {2**level}
+        # ...and they are exactly the node's leaves.
+        seq = tss_sequence(order)
+        owned = set(range(index * 2 ** (order - level),
+                          (index + 1) * 2 ** (order - level)))
+        assert {seq[p] for p in positions} == owned
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            node_slot_positions(5, 0, 4)
+        with pytest.raises(ConfigurationError):
+            node_slot_positions(2, 4, 4)
+
+
+class TestFirstSlotAfter:
+    @given(st.data())
+    @settings(max_examples=80)
+    def test_is_next_comb_position(self, data):
+        order = data.draw(st.integers(min_value=1, max_value=8))
+        level = data.draw(st.integers(min_value=0, max_value=order))
+        index = data.draw(st.integers(min_value=0, max_value=2**level - 1))
+        position = data.draw(st.integers(min_value=0, max_value=2**order - 1))
+        slot = first_slot_after(position, level, index, order)
+        comb = set(node_slot_positions(level, index, order))
+        assert slot in comb
+        # No comb slot lies in [position, slot) modulo the array size.
+        size = 2**order
+        cursor = position
+        while cursor % size != slot:
+            assert cursor % size not in comb or cursor % size == slot
+            cursor += 1
+
+    def test_position_validation(self):
+        with pytest.raises(ConfigurationError):
+            first_slot_after(16, 0, 0, 4)

@@ -1,0 +1,148 @@
+"""Tests for the QoS control plane (admission + delay quotes)."""
+
+import pytest
+
+from repro.core import AdmissionError, ConfigurationError
+from repro.net import CBRSource, Network, TokenBucketShaper
+from repro.qos import AdmissionController
+
+
+def make_net(scheduler="srr", **kw):
+    net = Network(default_scheduler=scheduler, default_scheduler_kwargs=kw)
+    for n in ("a", "r1", "r2", "b"):
+        net.add_node(n)
+    net.add_link("a", "r1", rate_bps=10e6, delay=0.001)
+    net.add_link("r1", "r2", rate_bps=1e6, delay=0.005)
+    net.add_link("r2", "b", rate_bps=10e6, delay=0.001)
+    return net
+
+
+class TestAdmission:
+    def test_admits_within_capacity(self):
+        cac = AdmissionController(make_net())
+        res = cac.request("f1", "a", "b", 400_000)
+        assert res.flow_id == "f1"
+        assert res.path == ["a", "r1", "r2", "b"]
+        assert cac.reserved_bps("r1", "r2") == 400_000
+
+    def test_rejects_over_capacity(self):
+        cac = AdmissionController(make_net())
+        cac.request("f1", "a", "b", 800_000)
+        with pytest.raises(AdmissionError):
+            cac.request("f2", "a", "b", 400_000)  # 1.2 M > 1 M bottleneck
+        assert cac.rejections == 1
+        assert "f2" not in cac.reservations
+        # The rejected flow was not half-installed anywhere.
+        assert not make_net().port("r1", "r2").scheduler.has_flow("f2")
+
+    def test_utilization_limit(self):
+        cac = AdmissionController(make_net(), utilization_limit=0.5)
+        cac.request("f1", "a", "b", 450_000)
+        with pytest.raises(AdmissionError):
+            cac.request("f2", "a", "b", 100_000)
+
+    def test_release_frees_capacity(self):
+        cac = AdmissionController(make_net())
+        cac.request("f1", "a", "b", 900_000)
+        cac.release("f1")
+        assert cac.reserved_bps("r1", "r2") == 0
+        cac.request("f2", "a", "b", 900_000)  # fits again
+
+    def test_release_unknown_raises(self):
+        cac = AdmissionController(make_net())
+        with pytest.raises(ConfigurationError):
+            cac.release("ghost")
+
+    def test_duplicate_reservation_rejected(self):
+        cac = AdmissionController(make_net())
+        cac.request("f1", "a", "b", 100_000)
+        with pytest.raises(AdmissionError):
+            cac.request("f1", "a", "b", 100_000)
+
+    def test_flow_installed_on_path(self):
+        net = make_net()
+        cac = AdmissionController(net)
+        cac.request("f1", "a", "b", 100_000)
+        assert net.port("a", "r1").scheduler.has_flow("f1")
+        assert net.port("r1", "r2").scheduler.has_flow("f1")
+        assert net.port("r2", "b").scheduler.has_flow("f1")
+
+    def test_g3_structural_rejection_counts(self):
+        net = make_net("g3", capacity=15)
+        cac = AdmissionController(net, weight_unit_bps=1e6 / 15)
+        cac.request("f1", "a", "b", 8 / 15 * 1e6)
+        # Bandwidth would fit 7/15 more, but no second depth-3 tree
+        # exists: G-3 rejects structurally.
+        with pytest.raises(AdmissionError):
+            cac.request("f2", "a", "b", 8 / 15 * 1e6)
+        assert cac.rejections >= 1
+
+
+class TestQuotes:
+    def test_srr_quote_composes_hops(self):
+        cac = AdmissionController(make_net("srr"))
+        res = cac.request("f1", "a", "b", 160_000, sigma_bytes=400)
+        quote = res.quote
+        assert quote.guaranteed
+        assert len(quote.per_hop) == 3
+        assert quote.burst == pytest.approx(400 * 8 / 160_000)
+        assert quote.total == pytest.approx(
+            quote.burst + sum(quote.per_hop) + quote.path
+        )
+        # SRR quotes are conservative: worst-case N on the 1 Mb/s link.
+        assert quote.total > 0.05
+
+    def test_g3_quote_tighter_than_srr(self):
+        """The headline of the follow-on work: N-independent bounds make
+        G-3's quotes far tighter than SRR's worst-case-N quotes."""
+        srr_quote = (
+            AdmissionController(make_net("srr"))
+            .request("f", "a", "b", 160_000)
+            .quote
+        )
+        g3_quote = (
+            AdmissionController(
+                make_net("g3", capacity=625), weight_unit_bps=1e6 / 625
+            )
+            .request("f", "a", "b", 160_000)
+            .quote
+        )
+        assert g3_quote.guaranteed
+        assert g3_quote.total < srr_quote.total / 2
+
+    def test_fifo_quote_not_guaranteed(self):
+        cac = AdmissionController(make_net("fifo"))
+        res = cac.request("f1", "a", "b", 100_000)
+        assert not res.quote.guaranteed
+        assert res.quote.total == pytest.approx(res.quote.path)
+
+    def test_wfq_quote_flat_in_n(self):
+        cac = AdmissionController(make_net("wfq"))
+        res = cac.request("f1", "a", "b", 100_000, sigma_bytes=200)
+        quote1 = res.quote
+        # Admit many more flows; a new identical reservation quotes the
+        # same bound (no N term).
+        for i in range(20):
+            cac.request(f"bg{i}", "a", "b", 20_000)
+        quote2 = cac.request("f2", "a", "b", 100_000, sigma_bytes=200).quote
+        assert quote2.total == pytest.approx(quote1.total)
+
+    def test_quote_holds_in_simulation(self):
+        """End to end: admit a shaped flow, run under saturation, verify
+        every measured delay is below the quote."""
+        net = make_net("srr")
+        cac = AdmissionController(net, utilization_limit=1.0)
+        res = cac.request("gold", "a", "b", 160_000, sigma_bytes=400)
+        shaper = TokenBucketShaper(sigma_bytes=400, rate_bps=160_000)
+        net.attach_source(
+            "gold", CBRSource(160_000, packet_size=200), shaper=shaper
+        )
+        # Fill the bottleneck with competing reserved flows.
+        for i in range(40):
+            fid = f"bg{i}"
+            cac.request(fid, "a", "b", 16_000)
+            net.attach_source(fid, CBRSource(16_000, packet_size=200))
+        net.run(until=3.0)
+        delays = net.sinks.delays("gold")
+        assert delays
+        assert max(delays) <= res.quote.total

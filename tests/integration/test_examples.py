@@ -1,0 +1,65 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least byte-compile; the fast ones are executed end
+to end (reduced scale where they take arguments).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def run_example(name, *args, timeout=120):
+    path = next(p for p in EXAMPLES if p.name == name)
+    return subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExampleRuns:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "service order" in result.stdout
+        assert "alice-data" in result.stdout
+
+    def test_multiservice_small(self):
+        result = run_example(
+            "multiservice_delay.py",
+            "--schedulers", "srr",
+            "--duration", "1",
+            "--background", "30",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "f1 32kb/s" in result.stdout
+
+    def test_guaranteed_delay_small(self):
+        result = run_example("guaranteed_delay_g3.py", "--duration", "2")
+        assert result.returncode == 0, result.stderr
+        assert "within the bound: True" in result.stdout
+
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "srr" in result.stdout
+        assert "e12" in result.stdout

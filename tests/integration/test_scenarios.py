@@ -1,0 +1,85 @@
+"""Integration tests for the canonical experiment scenarios."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.bench.scenarios import (
+    BOTTLENECK_BPS,
+    WEIGHT_UNIT_BPS,
+    dumbbell_network,
+    single_bottleneck_network,
+    slots_for_rate,
+)
+
+
+class TestSlotsForRate:
+    def test_exact(self):
+        assert slots_for_rate(32_000, 625, 10e6) == 2
+
+    def test_rounds_up(self):
+        assert slots_for_rate(33_000, 625, 10e6) == 3
+
+    def test_minimum_one(self):
+        assert slots_for_rate(1, 625, 10e6) == 1
+
+
+class TestDumbbell:
+    def test_structure(self):
+        net = dumbbell_network("srr", n_background=10)
+        # 5 hosts + 3 routers + 5 destinations.
+        assert len(net.nodes) == 13
+        # Tagged + background + 2 best-effort flows.
+        assert len(net.flows) == 2 + 10 + 2
+        # The scheduler under test sits on the two bottleneck directions.
+        assert type(net.port("R0", "R1").scheduler).__name__ == "SRRScheduler"
+        assert type(net.port("R1", "R2").scheduler).__name__ == "SRRScheduler"
+        # Access links are plain FIFO.
+        assert type(net.port("h0", "R0").scheduler).__name__ == "FIFOScheduler"
+
+    def test_weights_follow_units(self):
+        net = dumbbell_network("srr", n_background=5)
+        bott = net.port("R0", "R1").scheduler
+        assert bott.flow_state("f1").weight == 2      # 32k / 16k
+        assert bott.flow_state("f2").weight == 64     # 1024k / 16k
+        assert bott.flow_state("bg0").weight == 1
+
+    def test_g3_capacity_and_best_effort(self):
+        net = dumbbell_network("g3", n_background=5)
+        sched = net.port("R0", "R1").scheduler
+        assert sched.capacity == BOTTLENECK_BPS // WEIGHT_UNIT_BPS
+        assert sched.flow_state("be1").weight == 0
+
+    def test_short_run_delivers_all_classes(self):
+        net = dumbbell_network("srr", n_background=20)
+        net.run(until=1.0)
+        assert net.sinks.flow("f1").packets > 0
+        assert net.sinks.flow("f2").packets > 0
+        assert net.sinks.flow("bg0").packets > 0
+        assert net.sinks.flow("be1").packets > 0
+
+    @pytest.mark.parametrize("name", ["srr", "drr", "wfq", "g3", "rrr"])
+    def test_every_scheduler_builds_and_runs(self, name):
+        net = dumbbell_network(name, n_background=10)
+        net.run(until=0.5)
+        assert net.sinks.total_packets > 0
+
+
+class TestSingleBottleneck:
+    def test_reservation_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            single_bottleneck_network("srr", n_flows=700)
+
+    def test_tagged_flow_keeps_its_rate(self):
+        net = single_bottleneck_network("srr", n_flows=64)
+        net.run(until=3.0)
+        rec = net.sinks.flow("tag")
+        goodput = rec.throughput_bps(1.0, 3.0)
+        assert goodput == pytest.approx(32_000, rel=0.15)
+
+    def test_delay_grows_with_n(self):
+        worst = {}
+        for n in (16, 128):
+            net = single_bottleneck_network("srr", n_flows=n)
+            net.run(until=2.0)
+            worst[n] = max(net.sinks.delays("tag"))
+        assert worst[128] > worst[16] * 3

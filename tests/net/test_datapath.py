@@ -1,0 +1,161 @@
+"""Tests for links, ports and nodes (the store-and-forward datapath)."""
+
+import pytest
+
+from repro.core import CapacityError, Packet, SimulationError
+from repro.core.srr import SRRScheduler
+from repro.net import Link, Node, OutputPort, ServiceTrace, Simulator
+
+
+class TestLink:
+    def test_serialization_time(self):
+        link = Link(rate_bps=10e6, delay=0.01)
+        # 200 bytes at 10 Mb/s = 160 us.
+        assert link.serialization_time(200) == pytest.approx(160e-6)
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            Link(rate_bps=0)
+        with pytest.raises(CapacityError):
+            Link(rate_bps=1e6, delay=-1)
+
+
+def make_port(sim, rate=1e6, delay=0.0, sched=None):
+    receiver = Node("dst")
+    got = []
+    receiver.set_delivery_handler(got.append)
+    sched = sched or SRRScheduler()
+    sched.add_flow("f", 1)
+    port = OutputPort(sim, Link(rate, delay), sched, receiver, name="test")
+    return port, got
+
+
+class TestOutputPort:
+    def test_transmits_with_serialization_delay(self):
+        sim = Simulator()
+        port, got = make_port(sim, rate=8000)  # 1000 bytes/s
+        port.enqueue(Packet("f", 100, dst="dst"))
+        sim.run()
+        assert len(got) == 1
+        # 100 bytes at 1000 B/s -> delivered at t = 0.1.
+        assert sim.now == pytest.approx(0.1)
+
+    def test_propagation_delay_added(self):
+        sim = Simulator()
+        port, got = make_port(sim, rate=8000, delay=0.5)
+        port.enqueue(Packet("f", 100, dst="dst"))
+        sim.run()
+        assert sim.now == pytest.approx(0.6)
+
+    def test_back_to_back_pipeline(self):
+        sim = Simulator()
+        port, got = make_port(sim, rate=8000)
+        for i in range(3):
+            port.enqueue(Packet("f", 100, seq=i, dst="dst"))
+        sim.run()
+        assert [p.seq for p in got] == [0, 1, 2]
+        # Three serialisations back to back.
+        assert sim.now == pytest.approx(0.3)
+
+    def test_busy_flag_lifecycle(self):
+        sim = Simulator()
+        port, _got = make_port(sim, rate=8000)
+        assert not port.busy
+        port.enqueue(Packet("f", 100, dst="dst"))
+        assert port.busy
+        sim.run()
+        assert not port.busy
+
+    def test_counters_and_drops(self):
+        sim = Simulator()
+        sched = SRRScheduler()
+        sched.add_flow("f", 1, max_queue=2)
+        receiver = Node("dst")
+        port = OutputPort(sim, Link(8000), sched, receiver)
+        # 3rd packet overflows the per-flow queue... but transmission of
+        # the first begins immediately, freeing a slot; hold the clock by
+        # enqueueing before running.
+        for i in range(4):
+            port.enqueue(Packet("f", 100, seq=i, dst="dst"))
+        assert port.packets_in == 4
+        assert port.drops == 1  # one packet in flight + 2 queued + 1 drop
+        sim.run()
+        assert port.packets_out == 3
+        assert port.bytes_out == 300
+
+    def test_transmit_hooks_fire_at_completion(self):
+        sim = Simulator()
+        port, _got = make_port(sim, rate=8000)
+        trace = ServiceTrace(port)
+        port.enqueue(Packet("f", 100, dst="dst"))
+        sim.run()
+        assert len(trace) == 1
+        t, fid, size = trace.entries[0]
+        assert t == pytest.approx(0.1)
+        assert fid == "f" and size == 100
+
+
+class TestSharedBuffer:
+    def test_drop_tail_across_flows(self):
+        sim = Simulator()
+        sched = SRRScheduler()
+        sched.add_flow("a", 1)
+        sched.add_flow("b", 1)
+        receiver = Node("dst")
+        port = OutputPort(sim, Link(8000), sched, receiver,
+                          buffer_packets=3)
+        accepted = 0
+        for i in range(6):
+            fid = "a" if i % 2 == 0 else "b"
+            if port.enqueue(Packet(fid, 100, seq=i, dst="dst")):
+                accepted += 1
+        # One in flight + 3 buffered; the rest dropped regardless of flow.
+        assert accepted == 4
+        assert port.drops == 2
+        sim.run()
+        assert port.packets_out == 4
+
+    def test_unbounded_by_default(self):
+        sim = Simulator()
+        sched = SRRScheduler()
+        sched.add_flow("a", 1)
+        port = OutputPort(sim, Link(8000), sched, Node("dst"))
+        for i in range(100):
+            assert port.enqueue(Packet("a", 100, seq=i, dst="dst"))
+        assert port.drops == 0
+
+
+class TestNode:
+    def test_delivers_local_packets(self):
+        node = Node("x")
+        got = []
+        node.set_delivery_handler(got.append)
+        p = Packet("f", 100, dst="x")
+        node.receive(p)
+        assert got == [p]
+        assert node.packets_delivered == 1
+
+    def test_forwards_via_route(self):
+        sim = Simulator()
+        a, b = Node("a"), Node("b")
+        got = []
+        b.set_delivery_handler(got.append)
+        sched = SRRScheduler()
+        sched.add_flow("f", 1)
+        a.ports["b"] = OutputPort(sim, Link(8000), sched, b)
+        a.routes["b"] = "b"
+        a.receive(Packet("f", 100, dst="b"))
+        sim.run()
+        assert len(got) == 1
+        assert a.packets_forwarded == 1
+
+    def test_missing_route_raises(self):
+        node = Node("a")
+        with pytest.raises(SimulationError):
+            node.receive(Packet("f", 100, dst="elsewhere"))
+
+    def test_missing_port_raises(self):
+        node = Node("a")
+        node.routes["b"] = "b"
+        with pytest.raises(SimulationError):
+            node.receive(Packet("f", 100, dst="b"))

@@ -1,0 +1,120 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core import SimulationError
+from repro.net import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(3.0, out.append, "c")
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule(2.0, out.append, "b")
+        sim.run()
+        assert out == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        out = []
+        for tag in "abcde":
+            sim.schedule(1.0, out.append, tag)
+        sim.run()
+        assert out == list("abcde")
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.schedule(1.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5, 1.25]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        out = []
+
+        def tick(n):
+            out.append((sim.now, n))
+            if n < 3:
+                sim.schedule(1.0, tick, n + 1)
+
+        sim.schedule(0.0, tick, 0)
+        sim.run()
+        assert out == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_at(5.0, out.append, "x")
+        sim.run()
+        assert sim.now == 5.0
+        assert out == ["x"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_and_sets_clock(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule(3.0, out.append, "b")
+        n = sim.run(until=2.0)
+        assert n == 1
+        assert out == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert out == ["a", "b"]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        out = []
+        for i in range(10):
+            sim.schedule(float(i), out.append, i)
+        sim.run(max_events=4)
+        assert out == [0, 1, 2, 3]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        out = []
+        keep = sim.schedule(1.0, out.append, "keep")
+        drop = sim.schedule(2.0, out.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert out == ["keep"]
+        assert not keep.cancelled
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_reentrancy_guard(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(0.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()

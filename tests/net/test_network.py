@@ -1,0 +1,191 @@
+"""Integration tests for the Network builder (topology + flows + sources)."""
+
+import pytest
+
+from repro.core import ConfigurationError, DuplicateFlowError
+from repro.net import (
+    BurstSource,
+    CBRSource,
+    Network,
+    ServiceTrace,
+    TokenBucketShaper,
+)
+
+
+def two_hop(scheduler="srr", **kw):
+    net = Network(default_scheduler=scheduler, default_scheduler_kwargs=kw)
+    for n in ("h0", "r0", "d0"):
+        net.add_node(n)
+    net.add_link("h0", "r0", rate_bps=1e6, delay=0.001)
+    net.add_link("r0", "d0", rate_bps=1e6, delay=0.001)
+    return net
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_node("a")
+        with pytest.raises(ConfigurationError):
+            net.add_node("a")
+
+    def test_duplicate_link_rejected(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "b", 1e6)
+        with pytest.raises(ConfigurationError):
+            net.add_link("a", "b", 1e6)
+
+    def test_link_to_unknown_node_rejected(self):
+        net = Network()
+        net.add_node("a")
+        with pytest.raises(ConfigurationError):
+            net.add_link("a", "ghost", 1e6)
+
+    def test_bidirectional_creates_two_ports(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "b", 1e6)
+        assert net.port("a", "b") is not net.port("b", "a")
+
+    def test_unidirectional_link(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "b", 1e6, bidirectional=False)
+        net.port("a", "b")
+        with pytest.raises(ConfigurationError):
+            net.port("b", "a")
+
+    def test_per_link_scheduler_override(self):
+        net = Network(default_scheduler="drr")
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "b", 1e6, scheduler="srr")
+        assert type(net.port("a", "b").scheduler).__name__ == "SRRScheduler"
+
+
+class TestFlows:
+    def test_flow_registered_on_path_ports(self):
+        net = two_hop()
+        net.add_flow("f1", "h0", "d0", weight=2)
+        assert net.port("h0", "r0").scheduler.has_flow("f1")
+        assert net.port("r0", "d0").scheduler.has_flow("f1")
+        assert not net.port("d0", "r0").scheduler.has_flow("f1")
+
+    def test_duplicate_flow_rejected(self):
+        net = two_hop()
+        net.add_flow("f1", "h0", "d0")
+        with pytest.raises(DuplicateFlowError):
+            net.add_flow("f1", "h0", "d0")
+
+    def test_remove_flow_cleans_ports(self):
+        net = two_hop()
+        net.add_flow("f1", "h0", "d0")
+        net.remove_flow("f1")
+        assert not net.port("h0", "r0").scheduler.has_flow("f1")
+        with pytest.raises(ConfigurationError):
+            net.remove_flow("f1")
+
+    def test_source_requires_flow(self):
+        net = two_hop()
+        with pytest.raises(ConfigurationError):
+            net.attach_source("ghost", CBRSource(16_000))
+
+
+class TestEndToEnd:
+    def test_cbr_delivery_and_delay(self):
+        net = two_hop()
+        net.add_flow("f1", "h0", "d0", weight=1)
+        net.attach_source("f1", CBRSource(rate_bps=16_000, packet_size=200))
+        net.run(until=1.0)
+        rec = net.sinks.flow("f1")
+        assert rec.packets >= 9
+        # Unloaded path: delay = 2 serialisations + 2 propagations
+        #              = 2 * 1.6ms + 2 * 1ms = 5.2 ms.
+        for d in rec.delays():
+            assert d == pytest.approx(5.2e-3, rel=1e-6)
+
+    def test_packet_conservation(self):
+        net = two_hop()
+        net.add_flow("f1", "h0", "d0", weight=1)
+        net.add_flow("f2", "h0", "d0", weight=2)
+        s1 = net.attach_source("f1", CBRSource(100_000, 200, stop_at=1.5))
+        s2 = net.attach_source("f2", CBRSource(200_000, 200, stop_at=1.5))
+        net.run(until=1.0)
+        assert net.sinks.total_packets <= s1.packets_emitted + s2.packets_emitted
+        # Drain: after the sources stop, every emitted packet must arrive
+        # (the offered load is far below the link rate).
+        net.run(until=4.0)
+        emitted = s1.packets_emitted + s2.packets_emitted
+        assert net.sinks.total_packets == emitted
+        assert net.total_backlog() == 0
+
+    def test_bottleneck_shares_follow_weights(self):
+        net = two_hop()  # both links 1 Mb/s; h0->r0 is the bottleneck
+        net.add_flow("heavy", "h0", "d0", weight=3)
+        net.add_flow("light", "h0", "d0", weight=1)
+        # Both greedy: 2000 packets at once.
+        net.attach_source("heavy", BurstSource(2000, 200))
+        net.attach_source("light", BurstSource(2000, 200))
+        net.run(until=2.0)
+        heavy = net.sinks.flow("heavy").packets
+        light = net.sinks.flow("light").packets
+        assert heavy / light == pytest.approx(3.0, rel=0.05)
+
+    def test_service_trace_on_bottleneck(self):
+        net = two_hop()
+        net.add_flow("a", "h0", "d0", weight=1)
+        net.add_flow("b", "h0", "d0", weight=1)
+        trace = ServiceTrace(net.port("h0", "r0"))
+        net.attach_source("a", BurstSource(50, 200))
+        net.attach_source("b", BurstSource(50, 200))
+        net.run(until=1.0)
+        seq = trace.slot_sequence()
+        assert seq.count("a") == 50 and seq.count("b") == 50
+        # SRR with equal weights alternates.
+        alternations = sum(1 for x, y in zip(seq, seq[1:]) if x != y)
+        assert alternations >= 90
+
+    def test_shaped_source_respects_envelope(self):
+        net = two_hop()
+        net.add_flow("f", "h0", "d0", weight=1)
+        shaper = TokenBucketShaper(sigma_bytes=400, rate_bps=16_000)
+        net.attach_source(
+            "f", BurstSource(20, 200), shaper=shaper
+        )
+        net.run(until=5.0)
+        rec = net.sinks.flow("f")
+        assert rec.packets == 20
+        # 20 * 200 B = 4000 B at sigma=400,rho=2000B/s: last conforming
+        # departure no earlier than (4000-400)/2000 = 1.8 s.
+        assert rec.last_at >= 1.8
+
+    def test_multi_hop_line(self):
+        net = Network(default_scheduler="drr")
+        names = [f"n{i}" for i in range(5)]
+        for n in names:
+            net.add_node(n)
+        for a, b in zip(names, names[1:]):
+            net.add_link(a, b, rate_bps=1e6, delay=0.002)
+        net.add_flow("f", "n0", "n4", weight=1)
+        net.attach_source("f", CBRSource(64_000, 200))
+        net.run(until=1.0)
+        rec = net.sinks.flow("f")
+        assert rec.packets > 0
+        # 4 hops: 4 * (1.6ms + 2ms) = 14.4 ms unloaded.
+        assert rec.delays()[0] == pytest.approx(14.4e-3, rel=1e-6)
+
+    @pytest.mark.parametrize("name", ["srr", "drr", "wrr", "wfq", "scfq",
+                                      "stfq", "wf2q+", "rr", "fifo"])
+    def test_every_scheduler_moves_traffic(self, name):
+        net = two_hop(scheduler=name)
+        net.add_flow("f1", "h0", "d0", weight=1)
+        net.attach_source("f1", CBRSource(64_000, 200))
+        net.run(until=0.5)
+        assert net.sinks.flow("f1").packets > 0
+
+
+def _in_flight_slack():
+    return 4  # packets possibly on the wire when the clock stops

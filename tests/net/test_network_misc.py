@@ -1,0 +1,81 @@
+"""Misc Network-builder paths not covered elsewhere."""
+
+import pytest
+
+from repro.core import ConfigurationError, SRRScheduler, UnknownFlowError
+from repro.net import CBRSource, Network
+
+
+def tri():
+    net = Network(default_scheduler="srr")
+    for n in ("a", "b", "c"):
+        net.add_node(n)
+    net.add_link("a", "b", 1e6, delay=0.001)
+    net.add_link("b", "c", 1e6, delay=0.001)
+    return net
+
+
+class TestNetworkMisc:
+    def test_routes_recomputed_after_topology_change(self):
+        net = tri()
+        net.add_flow("f", "a", "c")
+        assert net.flows["f"].path == ["a", "b", "c"]
+        # A direct cheaper link appears; new flows take it.
+        net.add_link("a", "c", 1e6, delay=0.001, cost=0.5)
+        net.add_flow("g", "a", "c")
+        assert net.flows["g"].path == ["a", "c"]
+
+    def test_port_lookup_error(self):
+        net = tri()
+        with pytest.raises(ConfigurationError):
+            net.port("a", "c")
+
+    def test_total_backlog(self):
+        net = tri()
+        net.add_flow("f", "a", "c", weight=1)
+        # 2 Mb/s into a 1 Mb/s link: backlog accumulates.
+        net.attach_source("f", CBRSource(2e6, packet_size=500))
+        net.run(until=0.5)
+        assert net.total_backlog() > 50
+
+    def test_factory_scheduler_with_kwargs(self):
+        captured = {}
+
+        def factory(**kw):
+            captured.update(kw)
+            return SRRScheduler()
+
+        net = Network(default_scheduler=factory,
+                      default_scheduler_kwargs={"hint": 7})
+        net.add_node("x")
+        net.add_node("y")
+        net.add_link("x", "y", 1e6)
+        assert captured == {"hint": 7}
+
+    def test_link_buffer_packets_applied(self):
+        net = Network(default_scheduler="fifo")
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "b", 1e6, buffer_packets=5)
+        assert net.port("a", "b").buffer_packets == 5
+
+    def test_source_on_unknown_flow(self):
+        net = tri()
+        with pytest.raises(ConfigurationError):
+            net.attach_source("nope", CBRSource(1000))
+
+    def test_remove_unknown_flow(self):
+        net = tri()
+        with pytest.raises(ConfigurationError):
+            net.remove_flow("nope")
+
+    def test_repr(self):
+        net = tri()
+        assert "nodes=3" in repr(net)
+
+    def test_enqueue_unregistered_flow_at_port_raises(self):
+        net = tri()
+        from repro.core import Packet
+
+        with pytest.raises(UnknownFlowError):
+            net.port("a", "b").scheduler.enqueue(Packet("ghost", 10))

@@ -1,0 +1,82 @@
+"""Property-based tests for routing on random topologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import compute_next_hops, shortest_path
+
+
+@st.composite
+def random_connected_graph(draw):
+    """A random connected undirected graph with unit/random costs."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    nodes = [f"n{i}" for i in range(n)]
+    adjacency = {name: [] for name in nodes}
+
+    def connect(a, b, cost):
+        if all(nb != b for nb, _c in adjacency[a]):
+            adjacency[a].append((b, cost))
+            adjacency[b].append((a, cost))
+
+    # Spanning chain guarantees connectivity.
+    for a, b in zip(nodes, nodes[1:]):
+        cost = draw(st.integers(min_value=1, max_value=5))
+        connect(a, b, cost)
+    # Extra random edges.
+    extras = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extras):
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        j = draw(st.integers(min_value=0, max_value=n - 1))
+        if i != j:
+            connect(nodes[i], nodes[j],
+                    draw(st.integers(min_value=1, max_value=5)))
+    return adjacency
+
+
+def path_cost(adjacency, path):
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        total += next(c for nb, c in adjacency[a] if nb == b)
+    return total
+
+
+class TestRoutingProperties:
+    @given(random_connected_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_next_hops_reach_every_destination_loop_free(self, adjacency):
+        tables = compute_next_hops(adjacency)
+        nodes = list(adjacency)
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                # Follow the next-hop chain; it must reach dst without
+                # revisiting a node.
+                seen = {src}
+                node = src
+                while node != dst:
+                    node = tables[node][dst]
+                    assert node not in seen, "routing loop"
+                    seen.add(node)
+
+    @given(random_connected_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_next_hop_walk_cost_equals_shortest_path(self, adjacency):
+        tables = compute_next_hops(adjacency)
+        nodes = list(adjacency)
+        src, dst = nodes[0], nodes[-1]
+        sp = shortest_path(adjacency, src, dst)
+        # Walk the tables and compare total cost with the shortest path.
+        walk = [src]
+        while walk[-1] != dst:
+            walk.append(tables[walk[-1]][dst])
+        assert path_cost(adjacency, walk) == path_cost(adjacency, sp)
+
+    @given(random_connected_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_shortest_path_endpoints_and_adjacency(self, adjacency):
+        nodes = list(adjacency)
+        sp = shortest_path(adjacency, nodes[0], nodes[-1])
+        assert sp[0] == nodes[0] and sp[-1] == nodes[-1]
+        for a, b in zip(sp, sp[1:]):
+            assert any(nb == b for nb, _c in adjacency[a])

@@ -1,0 +1,77 @@
+"""Tests for the token-bucket shaper."""
+
+import pytest
+
+from repro.core import ConfigurationError, Packet
+from repro.net import Simulator, TokenBucketShaper
+
+
+def make(sigma=1000, rate=8000):
+    """Shaper with capture of forwarded (time, seq) pairs."""
+    sim = Simulator()
+    shaper = TokenBucketShaper(sigma_bytes=sigma, rate_bps=rate)
+    out = []
+    shaper.bind(sim, lambda p: out.append((sim.now, p.seq)))
+    return sim, shaper, out
+
+
+class TestTokenBucket:
+    def test_burst_within_sigma_passes_immediately(self):
+        sim, shaper, out = make(sigma=1000, rate=8000)
+        for i in range(5):
+            shaper.offer(Packet("f", 200, seq=i))
+        sim.run()
+        assert [t for t, _ in out] == [0.0] * 5  # 5 * 200 = sigma
+
+    def test_excess_burst_is_paced_at_rho(self):
+        sim, shaper, out = make(sigma=400, rate=8000)  # 1000 B/s fill
+        for i in range(4):
+            shaper.offer(Packet("f", 200, seq=i))
+        sim.run()
+        times = [t for t, _ in out]
+        # First two conform (400 B bucket); then one per 0.2 s.
+        assert times[0] == times[1] == 0.0
+        assert times[2] == pytest.approx(0.2)
+        assert times[3] == pytest.approx(0.4)
+
+    def test_long_run_rate_bounded_by_rho(self):
+        sim, shaper, out = make(sigma=200, rate=16_000)  # 2000 B/s
+        for i in range(100):
+            shaper.offer(Packet("f", 200, seq=i))
+        sim.run()
+        duration = out[-1][0]
+        total_bytes = 100 * 200
+        # sigma + rho * T envelope.
+        assert total_bytes <= 200 + 2000 * duration + 1e-6
+
+    def test_fifo_order_preserved(self):
+        sim, shaper, out = make(sigma=200, rate=8000)
+        for i in range(10):
+            shaper.offer(Packet("f", 200, seq=i))
+        sim.run()
+        assert [seq for _t, seq in out] == list(range(10))
+
+    def test_tokens_refill_during_idle(self):
+        sim, shaper, out = make(sigma=400, rate=8000)
+        shaper.offer(Packet("f", 400, seq=0))  # drains the bucket
+        sim.run()
+        # Idle for 0.5 s -> 500 B refilled (capped at sigma = 400).
+        sim.schedule(0.5, lambda: shaper.offer(Packet("f", 400, seq=1)))
+        sim.run()
+        assert out[1][0] == pytest.approx(0.5)
+
+    def test_counters(self):
+        sim, shaper, _out = make(sigma=200, rate=8000)
+        for i in range(3):
+            shaper.offer(Packet("f", 200, seq=i))
+        assert shaper.packets_shaped == 3
+        assert shaper.packets_delayed == 2
+        assert shaper.backlog == 2
+        sim.run()
+        assert shaper.backlog == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucketShaper(0, 1000)
+        with pytest.raises(ConfigurationError):
+            TokenBucketShaper(100, 0)

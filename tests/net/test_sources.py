@@ -1,0 +1,156 @@
+"""Tests for traffic sources."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.net import (
+    BurstSource,
+    CBRSource,
+    ExponentialOnOffSource,
+    ParetoOnOffSource,
+    PoissonSource,
+    Simulator,
+    TraceSource,
+)
+
+
+def run_source(source, until):
+    sim = Simulator()
+    emissions = []
+    source.bind(sim, lambda size: emissions.append((sim.now, size)))
+    source.start()
+    sim.run(until=until)
+    return emissions
+
+
+class TestCBR:
+    def test_exact_spacing(self):
+        # 200 B at 16 kb/s -> one packet every 0.1 s.
+        src = CBRSource(rate_bps=16_000, packet_size=200)
+        emissions = run_source(src, until=1.0)
+        times = [t for t, _s in emissions]
+        assert len(times) == 11  # t = 0.0 .. 1.0 inclusive
+        for i, t in enumerate(times):
+            assert t == pytest.approx(i * 0.1)
+
+    def test_start_stop_window(self):
+        src = CBRSource(16_000, 200, start_at=0.5, stop_at=0.85)
+        emissions = run_source(src, until=2.0)
+        times = [t for t, _s in emissions]
+        assert times[0] == pytest.approx(0.5)
+        assert times[-1] <= 0.85
+
+    def test_average_rate(self):
+        src = CBRSource(rate_bps=1_000_000, packet_size=500)
+        emissions = run_source(src, until=1.0)
+        bits = sum(s * 8 for _t, s in emissions)
+        assert bits == pytest.approx(1_000_000, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CBRSource(0)
+        with pytest.raises(ConfigurationError):
+            CBRSource(1000, 0)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        src = PoissonSource(mean_rate_bps=800_000, packet_size=100, seed=7)
+        emissions = run_source(src, until=10.0)
+        bits = sum(s * 8 for _t, s in emissions)
+        assert bits / 10.0 == pytest.approx(800_000, rel=0.1)
+
+    def test_reproducible_with_seed(self):
+        a = run_source(PoissonSource(100_000, 100, seed=3), until=2.0)
+        b = run_source(PoissonSource(100_000, 100, seed=3), until=2.0)
+        assert a == b
+
+    def test_interarrival_variability(self):
+        emissions = run_source(PoissonSource(100_000, 100, seed=5), until=5.0)
+        times = [t for t, _s in emissions]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert len(set(round(g, 9) for g in gaps)) > len(gaps) // 2
+
+
+class TestParetoOnOff:
+    def test_mean_rate_property(self):
+        src = ParetoOnOffSource(
+            peak_rate_bps=4_000_000, mean_on=0.1, mean_off=0.1
+        )
+        assert src.mean_rate_bps == pytest.approx(2_000_000)
+
+    def test_long_run_rate_near_mean(self):
+        src = ParetoOnOffSource(
+            peak_rate_bps=2_000_000,
+            packet_size=200,
+            mean_on=0.05,
+            mean_off=0.05,
+            alpha=1.9,  # lighter tail converges faster
+            seed=11,
+        )
+        emissions = run_source(src, until=60.0)
+        bits = sum(s * 8 for _t, s in emissions)
+        assert bits / 60.0 == pytest.approx(1_000_000, rel=0.35)
+
+    def test_bursty_structure(self):
+        """On/off structure: gaps are bimodal (packet spacing vs off
+        periods), unlike CBR."""
+        src = ParetoOnOffSource(
+            peak_rate_bps=1_000_000, packet_size=200, seed=2
+        )
+        emissions = run_source(src, until=10.0)
+        times = [t for t, _s in emissions]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        spacing = 200 * 8 / 1_000_000
+        long_gaps = [g for g in gaps if g > 3 * spacing]
+        short_gaps = [g for g in gaps if g <= 1.5 * spacing]
+        assert long_gaps and short_gaps
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParetoOnOffSource(1e6, alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            ParetoOnOffSource(1e6, mean_on=0)
+
+    def test_reproducible(self):
+        mk = lambda: ParetoOnOffSource(1e6, 200, seed=9)
+        assert run_source(mk(), 5.0) == run_source(mk(), 5.0)
+
+
+class TestExponentialOnOff:
+    def test_emits_and_reproducible(self):
+        mk = lambda: ExponentialOnOffSource(1e6, 200, seed=4)
+        a, b = run_source(mk(), 5.0), run_source(mk(), 5.0)
+        assert a and a == b
+
+
+class TestBurst:
+    def test_instant_burst(self):
+        src = BurstSource(5, packet_size=100, at=1.0)
+        emissions = run_source(src, until=2.0)
+        assert len(emissions) == 5
+        assert all(t == pytest.approx(1.0) for t, _s in emissions)
+
+    def test_spaced_burst(self):
+        src = BurstSource(3, packet_size=100, at=0.0, spacing=0.5)
+        emissions = run_source(src, until=2.0)
+        assert [t for t, _s in emissions] == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_counters(self):
+        src = BurstSource(4, packet_size=250)
+        run_source(src, until=1.0)
+        assert src.packets_emitted == 4
+        assert src.bytes_emitted == 1000
+
+
+class TestTrace:
+    def test_replays_schedule(self):
+        src = TraceSource([(0.2, 100), (0.1, 300), (0.7, 50)])
+        emissions = run_source(src, until=1.0)
+        assert emissions == [(0.1, 300), (0.2, 100), (0.7, 50)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceSource([(-1.0, 100)])
+        with pytest.raises(ConfigurationError):
+            TraceSource([(0.0, 0)])

@@ -1,0 +1,90 @@
+"""Tests for trace persistence (round-trip exactness)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.analysis import service_fairness_index, summarize_delays
+from repro.net import BurstSource, CBRSource, Network, ServiceTrace
+from repro.net.traceio import (
+    load_delivery_trace,
+    load_service_trace,
+    save_delivery_trace,
+    save_service_trace,
+)
+
+
+def run_net():
+    net = Network(default_scheduler="srr")
+    for n in ("h", "r", "d"):
+        net.add_node(n)
+    net.add_link("h", "r", rate_bps=10e6, delay=0.001)
+    net.add_link("r", "d", rate_bps=1e6, delay=0.001)
+    net.add_flow("a", "h", "d", weight=2)
+    net.add_flow("b", "h", "d", weight=1)
+    trace = ServiceTrace(net.port("r", "d"))
+    net.attach_source("a", CBRSource(400_000, packet_size=500))
+    net.attach_source("b", BurstSource(60, packet_size=500))
+    net.run(until=1.0)
+    return net, trace
+
+
+class TestDeliveryTrace:
+    def test_round_trip_exact(self, tmp_path):
+        net, _trace = run_net()
+        path = tmp_path / "deliveries.csv"
+        rows = save_delivery_trace(net.sinks, path)
+        assert rows == net.sinks.total_packets
+        records = load_delivery_trace(path)
+        assert len(records) == rows
+        original = sorted(
+            (str(r.flow_id), r.seq, r.size, r.created_at, r.delivered_at)
+            for flow in net.sinks.flows.values()
+            for r in flow.records
+        )
+        loaded = sorted(
+            (r.flow_id, r.seq, r.size, r.created_at, r.delivered_at)
+            for r in records
+        )
+        # repr() round-trips floats exactly.
+        assert loaded == original
+
+    def test_loaded_records_analyzable(self, tmp_path):
+        net, _trace = run_net()
+        path = tmp_path / "deliveries.csv"
+        save_delivery_trace(net.sinks, path)
+        records = load_delivery_trace(path)
+        delays = [r.delay for r in records if r.flow_id == "a"]
+        stats = summarize_delays(delays)
+        assert stats.count == net.sinks.flow("a").packets
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "bogus.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            load_delivery_trace(path)
+
+
+class TestServiceTrace:
+    def test_round_trip_exact(self, tmp_path):
+        net, trace = run_net()
+        path = tmp_path / "service.csv"
+        rows = save_service_trace(trace, path)
+        assert rows == len(trace)
+        loaded = load_service_trace(path)
+        assert [(t, str(f), s) for t, f, s in trace.entries] == loaded
+
+    def test_loaded_trace_feeds_fairness_analysis(self, tmp_path):
+        net, trace = run_net()
+        path = tmp_path / "service.csv"
+        save_service_trace(trace, path)
+        loaded = load_service_trace(path)
+        sfi = service_fairness_index(
+            loaded, {"a": 2, "b": 1}, window=0.05
+        )
+        assert sfi >= 0.0
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "bogus.csv"
+        path.write_text("a,b,c,d\n")
+        with pytest.raises(ConfigurationError):
+            load_service_trace(path)

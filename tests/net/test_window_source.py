@@ -1,0 +1,100 @@
+"""Tests for the closed-loop WindowSource and sink listeners."""
+
+import pytest
+
+from repro.core import ConfigurationError, Packet
+from repro.net import (
+    BurstSource,
+    CBRSource,
+    Network,
+    SinkRegistry,
+    Simulator,
+    WindowSource,
+)
+
+
+def two_hop(scheduler="srr"):
+    net = Network(default_scheduler=scheduler)
+    for n in ("h", "r", "d"):
+        net.add_node(n)
+    net.add_link("h", "r", rate_bps=10e6, delay=0.001)
+    net.add_link("r", "d", rate_bps=1e6, delay=0.001)
+    return net
+
+
+class TestSinkListeners:
+    def test_listener_called_per_delivery(self):
+        sim = Simulator()
+        sinks = SinkRegistry(sim)
+        seen = []
+        sinks.add_listener(seen.append)
+        p = Packet("f", 100)
+        sinks.record(p)
+        assert seen == [p]
+        assert p.delivered_at == sim.now
+
+
+class TestWindowSource:
+    def test_keeps_window_in_flight(self):
+        net = two_hop()
+        net.add_flow("tcpish", "h", "d", weight=1)
+        src = net.attach_source("tcpish", WindowSource(window=8, packet_size=500))
+        net.run(until=2.0)
+        rec = net.sinks.flow("tcpish")
+        # Self-clocked: rate settles near the bottleneck rate.
+        assert rec.throughput_bps(0.5, 2.0) == pytest.approx(1e6, rel=0.1)
+        # In-flight never exceeds the window.
+        assert src.packets_emitted - rec.packets <= 8
+
+    def test_total_cap_stops_emission(self):
+        net = two_hop()
+        net.add_flow("f", "h", "d", weight=1)
+        src = net.attach_source(
+            "f", WindowSource(window=4, packet_size=500, total=10)
+        )
+        net.run(until=5.0)
+        assert src.packets_emitted == 10
+        assert net.sinks.flow("f").packets == 10
+
+    def test_adapts_to_reserved_competition(self):
+        """The elastic flow takes the residue; the reserved CBR flow is
+        untouched — scheduler isolation against greedy adaptive traffic."""
+        net = two_hop()
+        net.add_flow("reserved", "h", "d", weight=3)
+        net.add_flow("elastic", "h", "d", weight=1)
+        net.attach_source("reserved", CBRSource(600_000, packet_size=500))
+        net.attach_source("elastic", WindowSource(window=32, packet_size=500))
+        net.run(until=3.0)
+        reserved = net.sinks.flow("reserved").throughput_bps(1.0, 3.0)
+        elastic = net.sinks.flow("elastic").throughput_bps(1.0, 3.0)
+        assert reserved == pytest.approx(600_000, rel=0.1)
+        assert elastic == pytest.approx(400_000, rel=0.15)
+
+    def test_two_elastic_flows_share_by_weight(self):
+        net = two_hop()
+        net.add_flow("a", "h", "d", weight=3)
+        net.add_flow("b", "h", "d", weight=1)
+        net.attach_source("a", WindowSource(window=32, packet_size=500))
+        net.attach_source("b", WindowSource(window=32, packet_size=500))
+        net.run(until=3.0)
+        a = net.sinks.flow("a").throughput_bps(1.0, 3.0)
+        b = net.sinks.flow("b").throughput_bps(1.0, 3.0)
+        assert a / b == pytest.approx(3.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindowSource(window=0)
+        with pytest.raises(ConfigurationError):
+            WindowSource(packet_size=0)
+        with pytest.raises(ConfigurationError):
+            WindowSource(ack_delay=-1)
+
+    def test_mixed_with_open_loop(self):
+        net = two_hop()
+        net.add_flow("burst", "h", "d", weight=1)
+        net.add_flow("window", "h", "d", weight=1)
+        net.attach_source("burst", BurstSource(100, packet_size=500))
+        net.attach_source("window", WindowSource(window=8, packet_size=500))
+        net.run(until=2.0)
+        assert net.sinks.flow("burst").packets == 100
+        assert net.sinks.flow("window").packets > 50

@@ -1,0 +1,149 @@
+"""Churn fuzzing: random flow add/remove under live traffic, all schedulers.
+
+The conformance suite covers static flow sets; these tests stress the
+control path (registration/removal while packets are queued and the
+scheduler is mid-round) and check global invariants against a reference
+model:
+
+* conservation — every dequeued packet was enqueued, exactly once, and
+  belongs to a currently registered flow;
+* accounting — the scheduler's backlog equals the model's at all times;
+* liveness — a backlogged scheduler always yields a packet.
+"""
+
+import random
+
+import pytest
+
+import repro.extensions  # noqa: F401
+from repro.core import AdmissionError, Packet
+from repro.schedulers import available_schedulers, create_scheduler
+
+ALL = available_schedulers()
+
+#: Per-scheduler construction kwargs and weight cap for the fuzz.
+CONFIG = {
+    "g3": ({"capacity": 255}, 8),
+    "rrr": ({"capacity": 256}, 8),
+}
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_churn_invariants(name, seed):
+    kwargs, weight_cap = CONFIG.get(name, ({}, 9))
+    rng = random.Random(seed * 1000 + hash(name) % 997)
+    sched = create_scheduler(name, **kwargs)
+
+    model = {}  # flow_id -> list of queued packet uids (FIFO)
+    next_flow = 0
+    dequeued = set()
+    enqueued = set()
+
+    for step in range(600):
+        action = rng.random()
+        flows = list(model)
+        if action < 0.15 or not flows:
+            # Add a flow.
+            fid = f"f{next_flow}"
+            next_flow += 1
+            weight = rng.randint(1, weight_cap)
+            try:
+                sched.add_flow(fid, weight)
+            except AdmissionError:
+                continue  # slotted scheduler full; fine
+            model[fid] = []
+        elif action < 0.25 and len(flows) > 1:
+            # Remove a random flow (possibly backlogged, possibly the
+            # one the scan cursor points at).
+            fid = rng.choice(flows)
+            dropped = sched.remove_flow(fid)
+            assert dropped == len(model[fid]), (name, fid)
+            del model[fid]
+        elif action < 0.65:
+            fid = rng.choice(flows)
+            p = Packet(fid, rng.choice([64, 200, 1500]))
+            assert sched.enqueue(p)
+            model[fid].append(p.uid)
+            enqueued.add(p.uid)
+        else:
+            expected_backlog = sum(len(q) for q in model.values())
+            p = sched.dequeue()
+            if expected_backlog == 0:
+                assert p is None, (name, "packet from empty scheduler")
+            else:
+                assert p is not None, (name, "idle despite backlog")
+                assert p.flow_id in model, (name, "served removed flow")
+                # Per-flow FIFO: must be that flow's head.
+                assert model[p.flow_id][0] == p.uid
+                model[p.flow_id].pop(0)
+                assert p.uid not in dequeued, (name, "duplicate service")
+                dequeued.add(p.uid)
+        assert sched.backlog == sum(len(q) for q in model.values()), (
+            name, step,
+        )
+
+    # Drain completely; everything left in the model must come out.
+    remaining = sum(len(q) for q in model.values())
+    for _ in range(remaining):
+        p = sched.dequeue()
+        assert p is not None
+        model[p.flow_id].pop(0)
+    assert sched.dequeue() is None
+    assert sched.backlog == 0
+    assert dequeued <= enqueued
+
+
+@pytest.mark.parametrize("seed", [11, 13])
+def test_g3_churn_keeps_structural_invariants(seed):
+    """G-3 specific: allocator/TArray cross-consistency under churn."""
+    rng = random.Random(seed)
+    sched = create_scheduler("g3", capacity=63)
+    live = {}
+    for step in range(200):
+        if live and rng.random() < 0.4:
+            fid = rng.choice(list(live))
+            sched.remove_flow(fid)
+            del live[fid]
+        else:
+            fid = f"f{step}"
+            weight = rng.randint(1, 16)
+            try:
+                sched.add_flow(fid, weight)
+            except AdmissionError:
+                continue
+            live[fid] = weight
+        sched.check_invariants()
+    # After a defragment, at most one free block per size class in each
+    # tree (the paper's shaping invariant).
+    sched.defragment()
+    sched.check_invariants()
+    for tree in sched.trees.values():
+        for e in range(tree.exponent + 1):
+            assert len(tree.allocator.free_blocks(e)) <= 1
+
+
+@pytest.mark.parametrize("seed", [7, 8])
+def test_srr_deficit_churn(seed):
+    """Deficit mode under churn: byte accounting never drifts."""
+    rng = random.Random(seed)
+    sched = create_scheduler("srr", mode="deficit", quantum=1500)
+    for i in range(6):
+        sched.add_flow(i, rng.randint(1, 7))
+    queued_bytes = 0
+    for _ in range(800):
+        if rng.random() < 0.6:
+            size = rng.choice([64, 500, 1500])
+            sched.enqueue(Packet(rng.randrange(6), size))
+            queued_bytes += size
+        else:
+            p = sched.dequeue()
+            if p is not None:
+                queued_bytes -= p.size
+        assert sched.backlog_bytes == queued_bytes
+    while True:
+        p = sched.dequeue()
+        if p is None:
+            break
+        queued_bytes -= p.size
+    assert queued_bytes == 0

@@ -1,0 +1,96 @@
+"""Tests for the op-counting binary heap used by the timestamp schedulers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OpCounter
+from repro.schedulers._heap import CountingHeap
+
+
+class TestCountingHeap:
+    def test_sorts(self):
+        h = CountingHeap()
+        values = [5, 3, 8, 1, 9, 2, 7, 4, 6, 0]
+        for v in values:
+            h.push(v)
+        assert [h.pop() for _ in range(10)] == sorted(values)
+
+    def test_peek_does_not_remove(self):
+        h = CountingHeap()
+        h.push(3)
+        h.push(1)
+        assert h.peek() == 1
+        assert len(h) == 2
+        assert h.pop() == 1
+
+    def test_len_and_bool(self):
+        h = CountingHeap()
+        assert not h
+        h.push(1)
+        assert h and len(h) == 1
+        h.pop()
+        assert not h
+
+    def test_clear(self):
+        h = CountingHeap()
+        for v in range(5):
+            h.push(v)
+        h.clear()
+        assert len(h) == 0
+
+    def test_duplicates(self):
+        h = CountingHeap()
+        for v in [2, 2, 1, 1, 3, 3]:
+            h.push(v)
+        assert [h.pop() for _ in range(6)] == [1, 1, 2, 2, 3, 3]
+
+    @given(st.lists(st.integers(), max_size=200))
+    @settings(max_examples=60)
+    def test_property_heapsort(self, values):
+        h = CountingHeap()
+        for v in values:
+            h.push(v)
+            h.check_invariant()
+        out = [h.pop() for _ in range(len(values))]
+        assert out == sorted(values)
+
+    def test_interleaved_push_pop_invariant(self):
+        rng = random.Random(42)
+        h = CountingHeap()
+        mirror = []
+        for _ in range(500):
+            if mirror and rng.random() < 0.45:
+                assert h.pop() == mirror.pop(0)
+            else:
+                v = rng.randint(0, 100)
+                h.push(v)
+                mirror.append(v)
+                mirror.sort()
+            h.check_invariant()
+
+    def test_ops_counted_logarithmically(self):
+        """Sift cost must grow ~log n — this is what makes the WFQ-family
+        op counts honest in experiment E5."""
+
+        def cost(n):
+            ops = OpCounter()
+            h = CountingHeap(op_counter=ops)
+            for v in range(n):
+                h.push((v * 7919) % n)  # scrambled order
+            ops.reset()
+            for _ in range(n):
+                h.pop()
+            return ops.count / n
+
+        small, large = cost(64), cost(4096)
+        assert large > small * 1.5  # grows with n
+        assert large < small * 4  # but only logarithmically
+
+    def test_tuple_entries(self):
+        h = CountingHeap()
+        h.push((2.5, 1, "b"))
+        h.push((1.5, 2, "a"))
+        assert h.pop()[2] == "a"

@@ -1,0 +1,51 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.core import ConfigurationError, SRRScheduler
+from repro.schedulers import (
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+)
+
+
+class TestRegistry:
+    def test_all_builtins_present(self):
+        names = available_schedulers()
+        for expected in ["srr", "drr", "wrr", "rr", "fifo", "wfq", "scfq",
+                         "stfq", "wf2q+"]:
+            assert expected in names
+
+    def test_create_by_name(self):
+        s = create_scheduler("srr")
+        assert isinstance(s, SRRScheduler)
+
+    def test_kwargs_passed_through(self):
+        s = create_scheduler("srr", mode="deficit", quantum=900)
+        assert s.mode == "deficit"
+        assert s.quantum == 900
+        d = create_scheduler("drr", quantum=512)
+        assert d.quantum == 512
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            create_scheduler("nope")
+
+    def test_register_custom(self):
+        class Custom(SRRScheduler):
+            name = "custom-srr"
+
+        register_scheduler("custom-srr", Custom)
+        try:
+            assert isinstance(create_scheduler("custom-srr"), Custom)
+            assert "custom-srr" in available_schedulers()
+        finally:
+            # Keep the registry clean for other tests.
+            from repro.schedulers import registry
+
+            del registry._REGISTRY["custom-srr"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_scheduler("", SRRScheduler)

@@ -1,0 +1,189 @@
+"""Behavioural tests for FIFO, RR, WRR and DRR."""
+
+import pytest
+
+from repro.core import ConfigurationError, Packet
+from repro.schedulers import (
+    DRRScheduler,
+    FIFOScheduler,
+    RoundRobinScheduler,
+    WRRScheduler,
+)
+
+
+def drain_ids(sched, limit=10000):
+    out = []
+    for _ in range(limit):
+        p = sched.dequeue()
+        if p is None:
+            break
+        out.append(p.flow_id)
+    return out
+
+
+class TestFIFO:
+    def test_strict_arrival_order(self):
+        s = FIFOScheduler()
+        s.add_flow("a", 1)
+        s.add_flow("b", 9)  # weight ignored
+        order = []
+        for i in range(6):
+            fid = "a" if i % 2 == 0 else "b"
+            s.enqueue(Packet(fid, 100, seq=i))
+            order.append(fid)
+        assert drain_ids(s) == order
+
+    def test_no_isolation(self):
+        """A flooding flow starves the polite one — FIFO's failure mode."""
+        s = FIFOScheduler()
+        s.add_flow("flood", 1)
+        s.add_flow("polite", 1)
+        for i in range(50):
+            s.enqueue(Packet("flood", 1500, seq=i))
+        s.enqueue(Packet("polite", 100))
+        first_50 = drain_ids(s, limit=50)
+        assert first_50 == ["flood"] * 50
+
+
+class TestRoundRobin:
+    def test_cycles_equally(self):
+        s = RoundRobinScheduler()
+        for fid in "abc":
+            s.add_flow(fid, 1)
+        for fid in "abc":
+            for i in range(3):
+                s.enqueue(Packet(fid, 100, seq=i))
+        assert drain_ids(s) == list("abcabcabc")
+
+    def test_ignores_weights(self):
+        s = RoundRobinScheduler()
+        s.add_flow("a", 10)
+        s.add_flow("b", 1)
+        for fid in "ab":
+            for i in range(5):
+                s.enqueue(Packet(fid, 100, seq=i))
+        seq = drain_ids(s)
+        assert seq[:6] == ["a", "b", "a", "b", "a", "b"]
+
+    def test_drained_flow_leaves_rotation(self):
+        s = RoundRobinScheduler()
+        s.add_flow("a", 1)
+        s.add_flow("b", 1)
+        s.enqueue(Packet("a", 100))
+        for i in range(3):
+            s.enqueue(Packet("b", 100, seq=i))
+        assert drain_ids(s) == ["a", "b", "b", "b"]
+
+
+class TestWRR:
+    def test_serves_weight_consecutively(self):
+        """The defining (bursty) behaviour SRR smooths out."""
+        s = WRRScheduler()
+        s.add_flow("big", 4)
+        s.add_flow("small", 1)
+        for i in range(8):
+            s.enqueue(Packet("big", 100, seq=i))
+        for i in range(2):
+            s.enqueue(Packet("small", 100, seq=i))
+        assert drain_ids(s) == [
+            "big", "big", "big", "big", "small",
+            "big", "big", "big", "big", "small",
+        ]
+
+    def test_integer_weights_required(self):
+        s = WRRScheduler()
+        with pytest.raises(Exception):
+            s.add_flow("a", 1.5)
+
+    def test_forfeits_credit_when_drained(self):
+        s = WRRScheduler()
+        s.add_flow("a", 5)
+        s.add_flow("b", 1)
+        s.enqueue(Packet("a", 100))  # only 1 of 5 credits usable
+        s.enqueue(Packet("b", 100))
+        assert drain_ids(s) == ["a", "b"]
+        # New burst: credit was reset, not carried.
+        for i in range(5):
+            s.enqueue(Packet("a", 100, seq=i))
+        s.enqueue(Packet("b", 100))
+        assert drain_ids(s) == ["a"] * 5 + ["b"]
+
+    def test_remove_head_flow_mid_burst(self):
+        s = WRRScheduler()
+        s.add_flow("a", 3)
+        s.add_flow("b", 1)
+        for i in range(3):
+            s.enqueue(Packet("a", 100, seq=i))
+        s.enqueue(Packet("b", 100))
+        assert s.dequeue().flow_id == "a"  # burst begun
+        s.remove_flow("a")
+        assert drain_ids(s) == ["b"]
+
+
+class TestDRR:
+    def test_byte_fairness_with_mixed_sizes(self):
+        s = DRRScheduler(quantum=1500)
+        s.add_flow("jumbo", 1)
+        s.add_flow("tiny", 1)
+        for i in range(100):
+            s.enqueue(Packet("jumbo", 1500, seq=i))
+        for i in range(1500):
+            s.enqueue(Packet("tiny", 100, seq=i))
+        sent = {"jumbo": 0, "tiny": 0}
+        for _ in range(500):
+            p = s.dequeue()
+            sent[p.flow_id] += p.size
+        assert sent["jumbo"] / sent["tiny"] == pytest.approx(1.0, rel=0.1)
+
+    def test_weighted_quanta(self):
+        s = DRRScheduler(quantum=500)
+        s.add_flow("w3", 3)
+        s.add_flow("w1", 1)
+        for i in range(400):
+            s.enqueue(Packet("w3", 500, seq=i))
+            s.enqueue(Packet("w1", 500, seq=i))
+        counts = {"w3": 0, "w1": 0}
+        for _ in range(400):
+            counts[s.dequeue().flow_id] += 1
+        assert counts["w3"] / counts["w1"] == pytest.approx(3.0, rel=0.05)
+
+    def test_deficit_carries_across_rounds(self):
+        # Quantum 300 < packet 1000: three rounds accumulate enough credit.
+        s = DRRScheduler(quantum=300)
+        s.add_flow("a", 1)
+        s.add_flow("b", 1)
+        for i in range(2):
+            s.enqueue(Packet("a", 1000, seq=i))
+        for i in range(20):
+            s.enqueue(Packet("b", 100, seq=i))
+        seq = drain_ids(s)
+        assert seq.count("a") == 2
+        # 'a' needs 4 visits (4 * 300 = 1200 >= 1000) before first send.
+        assert seq.index("a") > 0
+
+    def test_deficit_reset_on_drain(self):
+        s = DRRScheduler(quantum=10000)
+        s.add_flow("a", 1)
+        s.enqueue(Packet("a", 100))
+        s.dequeue()
+        assert s.flow_state("a").deficit == 0
+
+    def test_burstiness_grows_with_quantum(self):
+        """DRR sends a flow's whole per-round allocation contiguously."""
+        s = DRRScheduler(quantum=1000)
+        s.add_flow("a", 1)
+        s.add_flow("b", 1)
+        for i in range(40):
+            s.enqueue(Packet("a", 100, seq=i))
+            s.enqueue(Packet("b", 100, seq=i))
+        seq = drain_ids(s, limit=40)
+        # Runs of ~10 packets (1000/100) per flow.
+        longest = cur = 1
+        for x, y in zip(seq, seq[1:]):
+            cur = cur + 1 if x == y else 1
+            longest = max(longest, cur)
+        assert longest >= 10
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ConfigurationError):
+            DRRScheduler(quantum=0)

@@ -1,0 +1,203 @@
+"""Behavioural tests for the timestamp schedulers (WFQ, SCFQ, STFQ, WF²Q+)."""
+
+import pytest
+
+from repro.core import OpCounter, Packet
+from repro.schedulers import (
+    SCFQScheduler,
+    STFQScheduler,
+    WF2QPlusScheduler,
+    WFQScheduler,
+)
+
+TS = [WFQScheduler, SCFQScheduler, STFQScheduler, WF2QPlusScheduler]
+
+
+def drain_ids(sched, limit=100000):
+    out = []
+    for _ in range(limit):
+        p = sched.dequeue()
+        if p is None:
+            break
+        out.append(p.flow_id)
+    return out
+
+
+@pytest.fixture(params=TS, ids=[c.name for c in TS])
+def sched(request):
+    return request.param()
+
+
+class TestCommonTimestampBehaviour:
+    def test_equal_weights_interleave(self, sched):
+        sched.add_flow("a", 1)
+        sched.add_flow("b", 1)
+        for i in range(6):
+            sched.enqueue(Packet("a", 100, seq=i))
+            sched.enqueue(Packet("b", 100, seq=i))
+        seq = drain_ids(sched)
+        # Perfect alternation (up to which flow starts).
+        for i in range(0, 12, 2):
+            assert {seq[i], seq[i + 1]} == {"a", "b"}
+
+    def test_weighted_interleave_2to1(self, sched):
+        sched.add_flow("fast", 2.0)
+        sched.add_flow("slow", 1.0)
+        for i in range(20):
+            sched.enqueue(Packet("fast", 100, seq=i))
+        for i in range(10):
+            sched.enqueue(Packet("slow", 100, seq=i))
+        seq = drain_ids(sched, limit=15)
+        assert seq.count("fast") / seq.count("slow") == pytest.approx(2, rel=0.3)
+
+    def test_fractional_weights_accepted(self, sched):
+        sched.add_flow("x", 0.25)
+        sched.enqueue(Packet("x", 100))
+        assert sched.dequeue().flow_id == "x"
+
+    def test_virtual_time_resets_on_idle(self, sched):
+        sched.add_flow("a", 1)
+        sched.enqueue(Packet("a", 100))
+        sched.dequeue()
+        assert sched.virtual_time == 0.0
+
+    def test_virtual_time_monotone_in_busy_period(self, sched):
+        sched.add_flow("a", 1)
+        sched.add_flow("b", 2)
+        for i in range(10):
+            sched.enqueue(Packet("a", 100, seq=i))
+            sched.enqueue(Packet("b", 100, seq=i))
+        last = 0.0
+        for _ in range(15):
+            sched.dequeue()
+            assert sched.virtual_time >= last - 1e-12
+            last = sched.virtual_time
+
+    def test_small_packets_do_not_monopolise(self, sched):
+        """A flow sending many small packets must not beat an equal-weight
+        flow sending large ones in *bytes* (byte-normalised tags)."""
+        sched.add_flow("small", 1)
+        sched.add_flow("large", 1)
+        for i in range(150):
+            sched.enqueue(Packet("small", 100, seq=i))
+        for i in range(15):
+            sched.enqueue(Packet("large", 1000, seq=i))
+        sent = {"small": 0, "large": 0}
+        for _ in range(100):
+            p = sched.dequeue()
+            sent[p.flow_id] += p.size
+        assert sent["small"] / sent["large"] == pytest.approx(1.0, rel=0.25)
+
+
+class TestWFQSpecific:
+    def test_isolated_flow_meets_gps_finish_order(self):
+        """With weights 3:1 and equal sizes, WFQ must serve 3 of the heavy
+        flow per 1 of the light one, never falling behind GPS by more than
+        one packet."""
+        s = WFQScheduler()
+        s.add_flow("h", 3.0)
+        s.add_flow("l", 1.0)
+        for i in range(30):
+            s.enqueue(Packet("h", 100, seq=i))
+        for i in range(10):
+            s.enqueue(Packet("l", 100, seq=i))
+        seq = drain_ids(s)
+        # In any prefix, h-count >= 3 * l-count - 3 (one-packet slack).
+        h = l = 0
+        for fid in seq:
+            if fid == "h":
+                h += 1
+            else:
+                l += 1
+            assert h >= 3 * l - 3
+
+    def test_gps_clock_advances_with_departures(self):
+        s = WFQScheduler()
+        s.add_flow("a", 1.0)
+        s.add_flow("b", 1.0)
+        s.enqueue(Packet("a", 100))
+        s.enqueue(Packet("b", 100))
+        s.dequeue()
+        # After 100 bytes served with 2 backlogged unit-weight flows, the
+        # GPS clock sits at 50 virtual units.
+        assert s.virtual_time == pytest.approx(50.0)
+
+    def test_gps_iterated_deletion(self):
+        """When one flow's GPS backlog ends mid-transmission the clock
+        accelerates (fewer sharers)."""
+        s = WFQScheduler()
+        s.add_flow("a", 1.0)
+        s.add_flow("b", 1.0)
+        s.enqueue(Packet("a", 100))
+        s.enqueue(Packet("b", 300))
+        s.dequeue()  # a's 100B packet (F=100) is served first
+        # GPS: both active until V=100 (costs 200 real bytes)... but only
+        # 100 real bytes elapsed, so V = 50 and both still active.
+        assert s.virtual_time == pytest.approx(50.0)
+        s.dequeue()  # b's 300B packet; backlog empties -> busy period ends
+        assert s.virtual_time == 0.0
+
+    def test_late_arrival_gets_current_vtime(self):
+        s = WFQScheduler()
+        s.add_flow("a", 1.0)
+        s.add_flow("late", 1.0)
+        for i in range(4):
+            s.enqueue(Packet("a", 100, seq=i))
+        s.dequeue()
+        v = s.virtual_time
+        assert v > 0
+        s.enqueue(Packet("late", 100))
+        # late's stamp starts at the current V, so it interleaves with a's
+        # HOL packet (ties allowed) instead of queueing behind a's whole
+        # backlog of three remaining packets.
+        next_two = [s.dequeue().flow_id, s.dequeue().flow_id]
+        assert "late" in next_two
+
+
+class TestWF2QSpecific:
+    def test_eligibility_prevents_run_ahead(self):
+        """WFQ may serve a heavy flow's whole round back-to-back; WF²Q+
+        must not serve packet k+1 of a flow before GPS would have started
+        it. With w=10 vs 1 and equal sizes, WF²Q+ interleaves instead of
+        bursting the first 10."""
+        s = WF2QPlusScheduler()
+        s.add_flow("h", 10.0)
+        s.add_flow("l", 1.0)
+        for i in range(20):
+            s.enqueue(Packet("h", 100, seq=i))
+        for i in range(2):
+            s.enqueue(Packet("l", 100, seq=i))
+        seq = drain_ids(s, limit=12)
+        assert "l" in seq[:12]  # the light flow is not starved for a round
+
+    def test_wf2q_share_exact(self):
+        s = WF2QPlusScheduler()
+        s.add_flow("a", 3.0)
+        s.add_flow("b", 1.0)
+        for i in range(300):
+            s.enqueue(Packet("a", 100, seq=i))
+        for i in range(100):
+            s.enqueue(Packet("b", 100, seq=i))
+        seq = drain_ids(s, limit=200)
+        assert seq.count("a") / seq.count("b") == pytest.approx(3.0, rel=0.1)
+
+
+class TestComplexityShape:
+    def test_wfq_ops_grow_with_n(self):
+        """The point of the paper: timestamp schedulers pay per-packet
+        costs that grow with N; SRR does not (compared in E5)."""
+
+        def cost(n):
+            ops = OpCounter()
+            s = WFQScheduler(op_counter=ops)
+            for i in range(n):
+                s.add_flow(i, 1.0)
+            for i in range(n):
+                s.enqueue(Packet(i, 100))
+            ops.reset()
+            served = 0
+            while s.dequeue() is not None:
+                served += 1
+            return ops.count / served
+
+        assert cost(2048) > cost(32) * 1.4
