@@ -13,13 +13,12 @@ from .schedulers import available_schedulers
 
 
 def main() -> int:
-    import repro.extensions  # noqa: F401  (registers rrr/g3)
-
     print(f"repro {__version__} — reproduction of SRR (Guo, SIGCOMM 2001)")
     print()
     print("schedulers:", " ".join(available_schedulers()))
     print()
-    print("experiments (python -m repro.bench <id> [--quick]):")
+    print("experiments (python -m repro.bench <id> "
+          "[--scale quick|default|full] [--jobs N] [--seed S] [--json]):")
     for name in sorted(EXPERIMENTS, key=lambda n: int(n[1:])):
         print(f"  {name:4s} {_DESCRIPTIONS[name]}")
     print()

@@ -33,7 +33,7 @@ from .service_curves import (
     horizontal_deviation,
     max_ideal_lag,
 )
-from .tables import format_table, print_table
+from .tables import format_table, print_table, records_table, rows_from_records
 
 __all__ = [
     "DelayStats",
@@ -51,6 +51,8 @@ __all__ = [
     "nonzero_bits",
     "percentile",
     "print_table",
+    "records_table",
+    "rows_from_records",
     "ReplicationSummary",
     "summarize_replications",
     "t_critical",

@@ -3,13 +3,23 @@
 Every experiment prints its results as an aligned ASCII table (the same
 rows the paper's tables/figures report), so benches are readable both in
 CI logs and in the terminal. No external dependencies.
+
+Tables are derived from *records* — the per-sweep-point metric dicts the
+run harness stores in each ``RunResult`` — via :func:`records_table`, so
+what is printed and what is persisted in a ``results/`` artifact are the
+same data by construction, not parallel print-time state.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Union
 
-__all__ = ["format_table", "print_table"]
+__all__ = ["format_table", "print_table", "records_table", "rows_from_records"]
+
+#: A table column: how to pull one cell out of a record. Either a key
+#: (dotted keys traverse nested dicts: ``"flows.f1.max_ms"``) or a
+#: callable ``record -> value``.
+ColumnGetter = Union[str, Callable[[Mapping[str, Any]], Any]]
 
 
 def _fmt(value, precision: int) -> str:
@@ -53,6 +63,44 @@ def format_table(
             "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
         )
     return "\n".join(lines)
+
+
+def _cell(record: Mapping[str, Any], getter: ColumnGetter) -> Any:
+    if callable(getter):
+        return getter(record)
+    value: Any = record
+    for part in getter.split("."):
+        value = value[part]
+    return value
+
+
+def rows_from_records(
+    records: Iterable[Mapping[str, Any]],
+    columns: Sequence[ColumnGetter],
+) -> List[List[Any]]:
+    """Project record dicts onto table rows, one row per record."""
+    return [[_cell(record, getter) for getter in columns]
+            for record in records]
+
+
+def records_table(
+    records: Iterable[Mapping[str, Any]],
+    columns: Sequence[ColumnGetter],
+    *,
+    headers: Sequence[str],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render a table straight from per-point result records.
+
+    ``columns`` selects one cell per record (key, dotted key, or
+    callable); this is how experiment tables are emitted from the same
+    ``RunResult.points`` records that land in JSON artifacts.
+    """
+    return format_table(
+        headers, rows_from_records(records, columns),
+        title=title, precision=precision,
+    )
 
 
 def print_table(

@@ -1,8 +1,12 @@
 """The experiment harness regenerating every table/figure (see DESIGN.md).
 
-``python -m repro.bench e3`` reruns experiment E3, ``--quick`` shrinks
-simulation scale. The same functions back the pytest-benchmark suite in
-``benchmarks/``.
+``python -m repro.bench e3`` reruns experiment E3; ``--scale quick``
+(or ``--quick``) shrinks simulation scale, ``--jobs N`` fans sweeps out
+over a process pool, ``--seed``/``--set key=value`` pin the run, and
+every run writes a ``results/<exp>/<timestamp>-<seed>.json`` artifact.
+The same functions back the pytest-benchmark suite in ``benchmarks/``;
+the typed specs live in :data:`repro.bench.experiments.SPECS` and the
+run machinery in :mod:`repro.harness`.
 """
 
 from .experiments import (
@@ -19,7 +23,8 @@ from .experiments import (
     e11_variable_packet_sizes,
     e12_admission_quotes,
 )
-from .runner import EXPERIMENTS, run_experiment
+from .experiments import SPECS
+from .runner import EXPERIMENTS, run_config, run_experiment
 from .scenarios import (
     BOTTLENECK_BPS,
     MTU,
@@ -31,6 +36,7 @@ from .workloads import (
     build_loaded_scheduler,
     geometric_weights,
     ops_per_packet,
+    ops_profile,
     service_sequence,
     uniform_weights,
 )
@@ -38,6 +44,7 @@ from .workloads import (
 __all__ = [
     "BOTTLENECK_BPS",
     "EXPERIMENTS",
+    "SPECS",
     "MTU",
     "WEIGHT_UNIT_BPS",
     "build_loaded_scheduler",
@@ -56,6 +63,8 @@ __all__ = [
     "e9_space_time",
     "geometric_weights",
     "ops_per_packet",
+    "ops_profile",
+    "run_config",
     "run_experiment",
     "service_sequence",
     "single_bottleneck_network",

@@ -1,20 +1,30 @@
-"""The experiments of EXPERIMENTS.md (E1-E12), as callable functions.
+"""The experiments of EXPERIMENTS.md (E1-E12), on the run harness.
 
-Each ``eN_*`` function runs one experiment at a configurable scale,
-prints the paper-style table (unless ``quiet``) and returns a plain dict
-of the numbers so the pytest benches can assert on the *shape* of the
-results (who wins, by what factor, how quantities scale).
+Each experiment is declared as an :class:`~repro.harness.ExperimentSpec`:
+a frozen dataclass of typed parameters (with ``quick``/``full`` scale
+presets), plus a *body* that sweeps module-level point functions through
+:meth:`RunContext.sweep` — so any experiment fans out across a process
+pool with ``--jobs N`` while staying bit-identical to a serial run — and
+emits its tables from the same per-point records that land in the
+``results/`` JSON artifacts.
 
-Defaults are sized for interactive runs; the benches pass smaller
-durations, the examples larger ones.
+The legacy ``eN_*`` callables are kept as thin wrappers returning the
+summary metrics dict (what the pytest benches assert on); the full
+structured record of a run is the :class:`~repro.harness.RunResult`
+returned by ``repro.bench.runner.run_config``.
+
+Point functions are module-level (picklable) and self-contained: each
+receives everything it needs as plain arguments, including its own seed
+where stochastic, so results are keyed by sweep point and independent of
+execution order.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Hashable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-import repro.extensions  # noqa: F401  (registers rrr/g3)
 from ..analysis.bounds import (
     end_to_end_bound,
     g3_delay_bound,
@@ -23,9 +33,7 @@ from ..analysis.bounds import (
 )
 from ..analysis.fairness import gap_statistics, jain_index, worst_case_lag
 from ..analysis.metrics import summarize_delays
-from ..analysis.service_curves import max_ideal_lag
-from ..analysis.tables import format_table
-from ..core.opcount import OpCounter
+from ..analysis.stats import summarize_replications
 from ..core.packet import Packet
 from ..core.wss import (
     FoldedWSS,
@@ -34,25 +42,24 @@ from ..core.wss import (
     value_count,
     wss_sequence,
 )
-from ..extensions.g3 import G3Scheduler
+from ..harness import ExperimentSpec, RunContext, run_spec
 from ..schedulers.registry import create_scheduler
 from .scenarios import (
     BOTTLENECK_BPS,
     MTU,
-    RRR_GRID_ORDER,
     WEIGHT_UNIT_BPS,
     dumbbell_network,
     single_bottleneck_network,
-    slots_for_rate,
 )
 from .workloads import (
     build_loaded_scheduler,
     geometric_weights,
-    ops_per_packet,
+    ops_profile,
     service_sequence,
 )
 
 __all__ = [
+    "SPECS",
     "e1_wss_properties",
     "e2_smoothness",
     "e3_end_to_end_delay",
@@ -68,204 +75,322 @@ __all__ = [
 ]
 
 
-def _emit(text: str, quiet: bool) -> None:
-    if not quiet:
-        print()
-        print(text)
+def _metrics(eid: str, overrides: Dict, *, quiet: bool, jobs: int, seed: int) -> Dict:
+    """Run one spec with legacy-style kwargs; return the summary metrics."""
+    clean = {k: v for k, v in overrides.items() if v is not None}
+    return run_spec(
+        SPECS[eid], seed=seed, jobs=jobs, quiet=quiet, overrides=clean
+    ).metrics
 
 
 # ---------------------------------------------------------------------------
 # E1 — WSS definition table
 # ---------------------------------------------------------------------------
 
-def e1_wss_properties(max_order: int = 10, *, quiet: bool = False) -> Dict:
+@dataclass(frozen=True)
+class E1Params:
+    max_order: int = 10
+
+
+def _e1_point(order: int) -> Dict:
+    seq = wss_sequence(order)
+    counts_ok = all(
+        seq.count(v) == value_count(order, v)
+        for v in range(1, order + 1)
+    )
+    spacing_ok = True
+    for v in range(1, order + 1):
+        positions = [i for i, x in enumerate(seq) if x == v]
+        gaps = {b - a for a, b in zip(positions, positions[1:])}
+        if gaps - {1 << v}:
+            spacing_ok = False
+    return {
+        "order": order,
+        "length": len(seq),
+        "ones": seq.count(1),
+        "counts_ok": counts_ok,
+        "spacing_ok": spacing_ok,
+    }
+
+
+def _e1_body(p: E1Params, ctx: RunContext) -> Dict:
     """WSS examples and the term-frequency/spacing properties (E1)."""
-    rows = []
-    for order in range(1, max_order + 1):
-        seq = wss_sequence(order)
-        counts_ok = all(
-            seq.count(v) == value_count(order, v)
-            for v in range(1, order + 1)
-        )
-        spacing_ok = True
-        for v in range(1, order + 1):
-            positions = [i for i, x in enumerate(seq) if x == v]
-            gaps = {b - a for a, b in zip(positions, positions[1:])}
-            if gaps - {1 << v}:
-                spacing_ok = False
-        rows.append(
-            [order, len(seq), seq.count(1), counts_ok, spacing_ok]
-        )
-    table = format_table(
+    records = ctx.sweep(
+        _e1_point, [(order,) for order in range(1, p.max_order + 1)]
+    )
+    ctx.add_points(records)
+    ctx.table(
         ["order k", "len=2^k-1", "#value-1", "counts 2^(k-v)", "spacing 2^v"],
-        rows,
+        records=records,
+        columns=["order", "length", "ones", "counts_ok", "spacing_ok"],
         title="E1: Weight Spread Sequence properties "
               f"(WSS^4 = {wss_sequence(4)})",
     )
-    _emit(table, quiet)
     return {
-        "orders": max_order,
-        "all_counts_ok": all(r[3] for r in rows),
-        "all_spacing_ok": all(r[4] for r in rows),
+        "orders": p.max_order,
+        "all_counts_ok": all(r["counts_ok"] for r in records),
+        "all_spacing_ok": all(r["spacing_ok"] for r in records),
         "wss4": wss_sequence(4),
     }
+
+
+def e1_wss_properties(max_order: int = None, *, quiet: bool = False,
+                      jobs: int = 1) -> Dict:
+    """WSS examples and the term-frequency/spacing properties (E1)."""
+    return _metrics("e1", {"max_order": max_order},
+                    quiet=quiet, jobs=jobs, seed=1)
 
 
 # ---------------------------------------------------------------------------
 # E2 — service smoothness
 # ---------------------------------------------------------------------------
 
-def e2_smoothness(
-    schedulers: Sequence[str] = ("srr", "wrr", "drr", "rr"),
-    *,
-    n_flows: int = 12,
-    rounds: int = 8,
-    quiet: bool = False,
+@dataclass(frozen=True)
+class E2Params:
+    schedulers: Tuple[str, ...] = ("srr", "wrr", "drr", "rr")
+    n_flows: int = 12
+    rounds: int = 8
+
+
+def _e2_point(
+    name: str,
+    weights: Dict[int, int],
+    rounds: int,
+    heavy: int,
+    light: int,
 ) -> Dict:
+    # DRR's quantum is set to the packet size: in the fixed-size model
+    # one visit then serves exactly `weight` packets, the honest
+    # comparison (a 1500 B quantum would hide the burst inside gap=1
+    # statistics while multiplying its size).
+    kwargs = {"quantum": MTU} if name == "drr" else {}
+    sched = build_loaded_scheduler(
+        name,
+        weights,
+        packets_per_flow=rounds * max(weights.values()) + 8,
+        **kwargs,
+    )
+    seq = service_sequence(sched, rounds * sum(weights.values()))
+    flows = []
+    for label, fid in (("heavy", heavy), ("light", light)):
+        stats = gap_statistics(seq, fid)
+        flows.append({
+            "label": label,
+            "flow": f"{label} (w={weights[fid]})",
+            "weight": weights[fid],
+            "services": stats.services,
+            "min_gap": stats.min_gap,
+            "max_gap": stats.max_gap,
+            "mean_gap": round(stats.mean_gap, 2),
+            "cv": round(stats.cv, 3),
+        })
+    return {"scheduler": name, "flows": flows}
+
+
+def _e2_body(p: E2Params, ctx: RunContext) -> Dict:
     """Inter-service-distance statistics per scheduler (E2, claim C3).
 
     All flows stay backlogged; the flow with the largest weight is the
     tagged flow whose gap statistics are reported (it suffers the most
     from bursty service).
     """
-    weights = geometric_weights(n_flows, max_exponent=4)
+    weights = geometric_weights(p.n_flows, max_exponent=4)
     total_weight = sum(weights.values())
     heavy = max(weights, key=lambda f: weights[f])
     light = min(weights, key=lambda f: weights[f])
-    rows = []
-    results: Dict[str, Dict] = {}
-    for name in schedulers:
-        # DRR's quantum is set to the packet size: in the fixed-size model
-        # one visit then serves exactly `weight` packets, the honest
-        # comparison (a 1500 B quantum would hide the burst inside gap=1
-        # statistics while multiplying its size).
-        kwargs = {"quantum": MTU} if name == "drr" else {}
-        sched = build_loaded_scheduler(
-            name,
-            weights,
-            packets_per_flow=rounds * max(weights.values()) + 8,
-            **kwargs,
-        )
-        seq = service_sequence(sched, rounds * total_weight)
-        per = {}
-        for label, fid in (("heavy", heavy), ("light", light)):
-            stats = gap_statistics(seq, fid)
-            per[label] = {
-                "max_gap": stats.max_gap,
-                "cv": stats.cv,
-                "services": stats.services,
-            }
-            rows.append(
-                [name, f"{label} (w={weights[fid]})", stats.services,
-                 stats.min_gap, stats.max_gap,
-                 round(stats.mean_gap, 2), round(stats.cv, 3)]
-            )
-        results[name] = per
-    table = format_table(
+    records = ctx.sweep(
+        _e2_point,
+        [(name, weights, p.rounds, heavy, light) for name in p.schedulers],
+    )
+    rows = [
+        {"scheduler": r["scheduler"], **flow}
+        for r in records for flow in r["flows"]
+    ]
+    ctx.add_points(rows)
+    ctx.table(
         ["scheduler", "flow", "services", "min gap", "max gap",
          "mean gap", "gap CV"],
-        rows,
+        records=rows,
+        columns=["scheduler", "flow", "services", "min_gap", "max_gap",
+                 "mean_gap", "cv"],
         title=(
-            f"E2: inter-service distance, {n_flows} backlogged flows "
+            f"E2: inter-service distance, {p.n_flows} backlogged flows "
             f"(total weight {total_weight}); lower CV and max gap = smoother"
         ),
     )
-    _emit(table, quiet)
-    return results
+    return {
+        r["scheduler"]: {
+            flow["label"]: {
+                "max_gap": flow["max_gap"],
+                "cv": flow["cv"],
+                "services": flow["services"],
+            }
+            for flow in r["flows"]
+        }
+        for r in records
+    }
+
+
+def e2_smoothness(
+    schedulers: Sequence[str] = None,
+    *,
+    n_flows: int = None,
+    rounds: int = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Inter-service-distance statistics per scheduler (E2, claim C3)."""
+    return _metrics(
+        "e2",
+        {"schedulers": schedulers, "n_flows": n_flows, "rounds": rounds},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
 
 
 # ---------------------------------------------------------------------------
 # E3 — end-to-end delay in the dumbbell
 # ---------------------------------------------------------------------------
 
-def e3_end_to_end_delay(
-    schedulers: Sequence[str] = ("srr", "drr", "wrr", "wfq"),
-    *,
-    duration: float = 8.0,
-    n_background: int = 500,
-    repeats: int = 1,
-    base_seed: int = 1,
-    quiet: bool = False,
+@dataclass(frozen=True)
+class E3Params:
+    schedulers: Tuple[str, ...] = ("srr", "drr", "wrr", "wfq")
+    duration: float = 8.0
+    n_background: int = 500
+    repeats: int = 1
+
+
+def _e3_point(
+    name: str, rep: int, duration: float, n_background: int, base_seed: int
 ) -> Dict:
+    net = dumbbell_network(
+        name, n_background=n_background, seed=base_seed + 10 * rep
+    )
+    net.run(until=duration)
+    flows = {}
+    for fid in ("f1", "f2"):
+        stats = summarize_delays(net.sinks.delays(fid))
+        flows[fid] = {
+            "mean_ms": stats.mean * 1e3,
+            "p99_ms": stats.p99 * 1e3,
+            "max_ms": stats.maximum * 1e3,
+            "count": stats.count,
+        }
+    return {
+        "scheduler": name,
+        "rep": rep,
+        "seed": base_seed + 10 * rep,
+        "flows": flows,
+        "engine": net.engine_stats(),
+    }
+
+
+def _e3_body(p: E3Params, ctx: RunContext) -> Dict:
     """The Fig. 8 dumbbell: delays of f1 (32 kb/s) and f2 (1024 kb/s) (E3).
 
     ``repeats > 1`` reruns each scheduler over that many best-effort
-    sample paths (seeds ``base_seed, base_seed+10, ...``) and reports the
-    mean with a 95% confidence half-width on the max-delay column.
+    sample paths (seeds ``seed, seed+10, ...``) and reports the mean
+    with a 95% confidence half-width on the max-delay column.
     """
-    from ..analysis.stats import summarize_replications
-
-    rows = []
+    tasks = [
+        (name, rep, p.duration, p.n_background, ctx.seed)
+        for name in p.schedulers for rep in range(p.repeats)
+    ]
+    records = ctx.sweep(_e3_point, tasks)
+    ctx.add_points(records)
+    for record in records:
+        ctx.record_engine(record["engine"])
     results: Dict[str, Dict] = {}
-    for name in schedulers:
-        replicated: Dict[str, Dict[str, List[float]]] = {
-            "f1": {"mean": [], "p99": [], "max": [], "count": []},
-            "f2": {"mean": [], "p99": [], "max": [], "count": []},
-        }
-        for rep in range(repeats):
-            net = dumbbell_network(
-                name,
-                n_background=n_background,
-                seed=base_seed + 10 * rep,
-            )
-            net.run(until=duration)
-            for fid in ("f1", "f2"):
-                stats = summarize_delays(net.sinks.delays(fid))
-                replicated[fid]["mean"].append(stats.mean * 1e3)
-                replicated[fid]["p99"].append(stats.p99 * 1e3)
-                replicated[fid]["max"].append(stats.maximum * 1e3)
-                replicated[fid]["count"].append(stats.count)
+    rows = []
+    for name in p.schedulers:
+        reps = [r for r in records if r["scheduler"] == name]
         per = {}
         for fid in ("f1", "f2"):
-            max_summary = summarize_replications(replicated[fid]["max"])
+            maxes = [r["flows"][fid]["max_ms"] for r in reps]
+            max_summary = summarize_replications(maxes)
             per[fid] = {
-                "mean_ms": sum(replicated[fid]["mean"]) / repeats,
-                "p99_ms": sum(replicated[fid]["p99"]) / repeats,
+                "mean_ms": sum(r["flows"][fid]["mean_ms"] for r in reps)
+                / p.repeats,
+                "p99_ms": sum(r["flows"][fid]["p99_ms"] for r in reps)
+                / p.repeats,
                 "max_ms": max_summary.mean,
                 "max_ci95_ms": max_summary.ci95,
-                "packets": int(sum(replicated[fid]["count"]) / repeats),
+                "packets": int(
+                    sum(r["flows"][fid]["count"] for r in reps) / p.repeats
+                ),
             }
-            rows.append(
-                [name, fid, per[fid]["packets"],
-                 round(per[fid]["mean_ms"], 2),
-                 round(per[fid]["p99_ms"], 2),
-                 round(per[fid]["max_ms"], 2),
-                 round(max_summary.ci95, 2)]
-            )
+            rows.append({
+                "scheduler": name, "flow": fid,
+                "packets": per[fid]["packets"],
+                "mean_ms": round(per[fid]["mean_ms"], 2),
+                "p99_ms": round(per[fid]["p99_ms"], 2),
+                "max_ms": round(per[fid]["max_ms"], 2),
+                "ci95_ms": round(max_summary.ci95, 2),
+            })
         results[name] = per
-    table = format_table(
+    ctx.table(
         ["scheduler", "flow", "packets", "mean ms", "p99 ms", "max ms",
          "±95% CI"],
-        rows,
+        records=rows,
+        columns=["scheduler", "flow", "packets", "mean_ms", "p99_ms",
+                 "max_ms", "ci95_ms"],
         title=(
-            f"E3: end-to-end delay, dumbbell with {n_background} background "
-            f"flows + Pareto best-effort, {duration:.0f}s simulated, "
-            f"{repeats} replication(s)"
+            f"E3: end-to-end delay, dumbbell with {p.n_background} "
+            f"background flows + Pareto best-effort, {p.duration:.0f}s "
+            f"simulated, {p.repeats} replication(s)"
         ),
     )
-    _emit(table, quiet)
     return results
+
+
+def e3_end_to_end_delay(
+    schedulers: Sequence[str] = None,
+    *,
+    duration: float = None,
+    n_background: int = None,
+    repeats: int = None,
+    base_seed: int = 1,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """The Fig. 8 dumbbell delays (E3); see the spec body for details."""
+    return _metrics(
+        "e3",
+        {"schedulers": schedulers, "duration": duration,
+         "n_background": n_background, "repeats": repeats},
+        quiet=quiet, jobs=jobs, seed=base_seed,
+    )
 
 
 # ---------------------------------------------------------------------------
 # E4 — delay vs number of flows
 # ---------------------------------------------------------------------------
 
-def e4_delay_vs_n(
-    schedulers: Sequence[str] = ("srr", "drr", "wfq"),
-    n_values: Sequence[int] = (16, 64, 128, 256, 512),
-    *,
-    duration: float = 4.0,
-    quiet: bool = False,
-) -> Dict:
+@dataclass(frozen=True)
+class E4Params:
+    schedulers: Tuple[str, ...] = ("srr", "drr", "wfq")
+    n_values: Tuple[int, ...] = (16, 64, 128, 256, 512)
+    duration: float = 4.0
+    tagged_rate_bps: int = 32_000
+
+
+def _e4_point(name: str, n: int, duration: float, tagged_rate: int) -> Dict:
+    net = single_bottleneck_network(name, n, tagged_rate_bps=tagged_rate)
+    net.run(until=duration)
+    delays = net.sinks.delays("tag")
+    worst = max(delays) * 1e3 if delays else float("nan")
+    return {
+        "scheduler": name,
+        "n": n,
+        "max_ms": worst,
+        "engine": net.engine_stats(),
+    }
+
+
+def _e4_body(p: E4Params, ctx: RunContext) -> Dict:
     """Tagged-flow max delay as N grows (E4, Theorem 1's linear-in-N).
 
     Includes the SRR analytic bound column (Lemma 2) for comparison.
     """
-    rows = []
-    results: Dict[str, Dict[int, float]] = {name: {} for name in schedulers}
-    results["bound_ms"] = {}
-    tagged_rate = 32_000
     # Fixed path components of single_bottleneck_network: access
     # serialisation + access propagation + bottleneck serialisation +
     # bottleneck propagation. The scheduler bound sits on top of these.
@@ -275,82 +400,83 @@ def e4_delay_vs_n(
         + MTU * 8.0 / BOTTLENECK_BPS
         + 0.001
     )
-    for n in n_values:
+    tasks = [
+        (name, n, p.duration, p.tagged_rate_bps)
+        for n in p.n_values for name in p.schedulers
+    ]
+    records = ctx.sweep(_e4_point, tasks)
+    ctx.add_points(records)
+    for record in records:
+        ctx.record_engine(record["engine"])
+    results: Dict[str, Dict[int, float]] = {
+        name: {} for name in p.schedulers
+    }
+    results["bound_ms"] = {}
+    row_records = []
+    for n in p.n_values:
         bound = base_delay + srr_delay_bound(
-            weight=max(1, round(tagged_rate / WEIGHT_UNIT_BPS)),
+            weight=max(1, round(p.tagged_rate_bps / WEIGHT_UNIT_BPS)),
             n_flows=n + 1,
             packet_size=MTU,
             link_rate_bps=BOTTLENECK_BPS,
             weight_unit_bps=WEIGHT_UNIT_BPS,
         )
         results["bound_ms"][n] = bound * 1e3
-        row = [n, round(bound * 1e3, 2)]
-        for name in schedulers:
-            net = single_bottleneck_network(
-                name, n, tagged_rate_bps=tagged_rate
-            )
-            net.run(until=duration)
-            delays = net.sinks.delays("tag")
-            worst = max(delays) * 1e3 if delays else float("nan")
-            results[name][n] = worst
-            row.append(round(worst, 2))
-        rows.append(row)
-    table = format_table(
-        ["N", "SRR bound ms"] + [f"{n} max ms" for n in schedulers],
-        rows,
+        row = {"n": n, "bound_ms": round(bound * 1e3, 2)}
+        for record in records:
+            if record["n"] == n:
+                name = record["scheduler"]
+                results[name][n] = record["max_ms"]
+                row[name] = round(record["max_ms"], 2)
+        row_records.append(row)
+    ctx.table(
+        ["N", "SRR bound ms"] + [f"{name} max ms" for name in p.schedulers],
+        records=row_records,
+        columns=["n", "bound_ms"] + list(p.schedulers),
         title=(
             "E4: worst end-to-end delay of a 32 kb/s flow vs number of "
             "competing flows (saturated 10 Mb/s bottleneck)"
         ),
     )
-    _emit(table, quiet)
     return results
+
+
+def e4_delay_vs_n(
+    schedulers: Sequence[str] = None,
+    n_values: Sequence[int] = None,
+    *,
+    duration: float = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Tagged-flow max delay as N grows (E4, Theorem 1's linear-in-N)."""
+    return _metrics(
+        "e4",
+        {"schedulers": schedulers, "n_values": n_values,
+         "duration": duration},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
 
 
 # ---------------------------------------------------------------------------
 # E5 — scheduling cost vs N (the O(1) claim)
 # ---------------------------------------------------------------------------
 
-def e5_scheduling_cost(
-    schedulers: Sequence[str] = (
+@dataclass(frozen=True)
+class E5Params:
+    schedulers: Tuple[str, ...] = (
         "srr", "drr", "wrr", "strr", "wfq", "scfq", "stfq", "wf2q+", "vc",
         "g3", "rrr",
-    ),
-    n_values: Sequence[int] = (16, 64, 256, 1024, 4096),
-    *,
-    measure: int = 3000,
-    time_it: bool = False,
-    quiet: bool = False,
-) -> Dict:
-    """Elementary operations (and optionally wall time) per packet vs N (E5)."""
-    rows = []
-    results: Dict[str, Dict[int, float]] = {name: {} for name in schedulers}
-    for name in schedulers:
-        for n in n_values:
-            kwargs = {}
-            if name == "g3":
-                kwargs["capacity"] = 1 << (n.bit_length() + 1)
-            if name == "rrr":
-                kwargs["capacity"] = 1 << (n.bit_length() + 1)
-            mean_ops, worst_ops = ops_per_packet(
-                name, n, measure=measure, **kwargs
-            )
-            results[name][n] = mean_ops
-            row = [name, n, round(mean_ops, 2), worst_ops]
-            if time_it:
-                row.append(round(_time_per_packet(name, n, **kwargs) * 1e6, 3))
-            rows.append(row)
-    headers = ["scheduler", "N", "ops/packet", "worst ops"]
-    if time_it:
-        headers.append("us/packet")
-    table = format_table(
-        headers,
-        rows,
-        title="E5: per-packet scheduling cost vs number of flows "
-              "(flat = O(1); growing = O(log N) or worse)",
     )
-    _emit(table, quiet)
-    return results
+    n_values: Tuple[int, ...] = (16, 64, 256, 1024, 4096)
+    measure: int = 3000
+    time_it: bool = False
+
+
+def _e5_kwargs(name: str, n: int) -> Dict:
+    if name in ("g3", "rrr"):
+        return {"capacity": 1 << (n.bit_length() + 1)}
+    return {}
 
 
 def _time_per_packet(name: str, n_flows: int, **kwargs) -> float:
@@ -364,122 +490,269 @@ def _time_per_packet(name: str, n_flows: int, **kwargs) -> float:
     return (time.perf_counter() - start) / count
 
 
+def _e5_point(name: str, n: int, measure: int, time_it: bool) -> Dict:
+    kwargs = _e5_kwargs(name, n)
+    profile = ops_profile(name, n, measure=measure, **kwargs)
+    record = {
+        "scheduler": name,
+        "n": n,
+        "mean_ops": round(profile["mean_ops"], 2),
+        "worst_ops": int(profile["worst_ops"]),
+        "total_ops": int(profile["total_ops"]),
+        "served": int(profile["served"]),
+    }
+    if time_it:
+        record["us_per_packet"] = round(
+            _time_per_packet(name, n, **kwargs) * 1e6, 3
+        )
+    return record
+
+
+def _e5_body(p: E5Params, ctx: RunContext) -> Dict:
+    """Elementary operations (and optionally wall time) per packet vs N (E5)."""
+    tasks = [
+        (name, n, p.measure, p.time_it)
+        for name in p.schedulers for n in p.n_values
+    ]
+    records = ctx.sweep(_e5_point, tasks)
+    ctx.add_points(records)
+    ctx.record_engine({
+        "ops": sum(r["total_ops"] for r in records),
+        "packets_served": sum(r["served"] for r in records),
+    })
+    headers = ["scheduler", "N", "ops/packet", "worst ops"]
+    columns = ["scheduler", "n", "mean_ops", "worst_ops"]
+    if p.time_it:
+        headers.append("us/packet")
+        columns.append("us_per_packet")
+    ctx.table(
+        headers,
+        records=records,
+        columns=columns,
+        title="E5: per-packet scheduling cost vs number of flows "
+              "(flat = O(1); growing = O(log N) or worse)",
+    )
+    results: Dict[str, Dict[int, float]] = {name: {} for name in p.schedulers}
+    for record in records:
+        results[record["scheduler"]][record["n"]] = record["mean_ops"]
+    return results
+
+
+def e5_scheduling_cost(
+    schedulers: Sequence[str] = None,
+    n_values: Sequence[int] = None,
+    *,
+    measure: int = None,
+    time_it: bool = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Elementary operations (and optionally wall time) per packet vs N (E5)."""
+    return _metrics(
+        "e5",
+        {"schedulers": schedulers, "n_values": n_values,
+         "measure": measure, "time_it": time_it},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
+
+
 # ---------------------------------------------------------------------------
 # E6 — fairness table
 # ---------------------------------------------------------------------------
 
-def e6_fairness(
-    schedulers: Sequence[str] = ("srr", "wrr", "drr", "wfq", "scfq", "rr"),
-    *,
-    n_flows: int = 16,
-    rounds: int = 12,
-    quiet: bool = False,
-) -> Dict:
+@dataclass(frozen=True)
+class E6Params:
+    schedulers: Tuple[str, ...] = ("srr", "wrr", "drr", "wfq", "scfq", "rr")
+    n_flows: int = 16
+    rounds: int = 12
+
+
+def _e6_point(name: str, weights: Dict[int, int], rounds: int) -> Dict:
+    kwargs = {"quantum": MTU} if name == "drr" else {}
+    total = sum(weights.values())
+    sched = build_loaded_scheduler(
+        name,
+        weights,
+        packets_per_flow=rounds * max(weights.values()) + 8,
+        **kwargs,
+    )
+    seq = service_sequence(sched, rounds * total)
+    counts = {f: seq.count(f) for f in weights}
+    shares = [counts[f] / weights[f] for f in weights]
+    jain = jain_index(shares)
+    # Synthetic trace: slot index as time (fixed L makes this exact).
+    trace = [(float(i), fid, MTU) for i, fid in enumerate(seq)]
+    lag = worst_case_lag(trace, weights)
+    worst_lag_pkts = max(lag.values()) / MTU
+    return {
+        "scheduler": name,
+        "jain": round(jain, 4),
+        "worst_lag_packets": round(worst_lag_pkts, 2),
+        "jain_raw": jain,
+        "worst_lag_raw": worst_lag_pkts,
+    }
+
+
+def _e6_body(p: E6Params, ctx: RunContext) -> Dict:
     """Throughput Jain index, worst normalised lag and SFI-style gap
     spread in a saturated single node (E6, claim C2)."""
-    weights = geometric_weights(n_flows, max_exponent=3)
-    total = sum(weights.values())
-    rows = []
-    results: Dict[str, Dict] = {}
-    for name in schedulers:
-        kwargs = {"quantum": MTU} if name == "drr" else {}
-        sched = build_loaded_scheduler(
-            name,
-            weights,
-            packets_per_flow=rounds * max(weights.values()) + 8,
-            **kwargs,
-        )
-        seq = service_sequence(sched, rounds * total)
-        counts = {f: seq.count(f) for f in weights}
-        shares = [counts[f] / weights[f] for f in weights]
-        jain = jain_index(shares)
-        # Synthetic trace: slot index as time (fixed L makes this exact).
-        trace = [(float(i), fid, MTU) for i, fid in enumerate(seq)]
-        lag = worst_case_lag(trace, weights)
-        worst_lag_pkts = max(lag.values()) / MTU
-        rows.append([name, round(jain, 4), round(worst_lag_pkts, 2)])
-        results[name] = {"jain": jain, "worst_lag_packets": worst_lag_pkts}
-    table = format_table(
+    weights = geometric_weights(p.n_flows, max_exponent=3)
+    records = ctx.sweep(
+        _e6_point, [(name, weights, p.rounds) for name in p.schedulers]
+    )
+    ctx.add_points(records)
+    ctx.table(
         ["scheduler", "Jain (weighted)", "worst lag (packets)"],
-        rows,
+        records=records,
+        columns=["scheduler", "jain", "worst_lag_packets"],
         title=(
-            f"E6: weighted fairness over {rounds} rounds, {n_flows} "
+            f"E6: weighted fairness over {p.rounds} rounds, {p.n_flows} "
             "backlogged flows (Jain of service/weight; fluid-lag in packets)"
         ),
     )
-    _emit(table, quiet)
-    return results
+    return {
+        r["scheduler"]: {
+            "jain": r["jain_raw"],
+            "worst_lag_packets": r["worst_lag_raw"],
+        }
+        for r in records
+    }
+
+
+def e6_fairness(
+    schedulers: Sequence[str] = None,
+    *,
+    n_flows: int = None,
+    rounds: int = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Weighted fairness indices in a saturated single node (E6)."""
+    return _metrics(
+        "e6",
+        {"schedulers": schedulers, "n_flows": n_flows, "rounds": rounds},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
 
 
 # ---------------------------------------------------------------------------
 # E7 — throughput guarantees under overload
 # ---------------------------------------------------------------------------
 
-def e7_guarantees(
-    schedulers: Sequence[str] = ("srr", "drr", "wfq", "fifo"),
-    *,
-    duration: float = 6.0,
-    n_background: int = 100,
-    quiet: bool = False,
-) -> Dict:
+@dataclass(frozen=True)
+class E7Params:
+    schedulers: Tuple[str, ...] = ("srr", "drr", "wfq", "fifo")
+    duration: float = 6.0
+    n_background: int = 100
+
+
+def _e7_point(name: str, duration: float, n_background: int, seed: int) -> Dict:
+    # Heavy overload: the two best-effort sources alone offer ~1.6x
+    # the bottleneck rate, so without isolation the reserved flows
+    # queue behind a permanently growing best-effort backlog.
+    net = dumbbell_network(
+        name,
+        n_background=n_background,
+        best_effort_peak_bps=16_000_000,
+        be_max_queue=2000,
+        seed=seed,
+    )
+    net.run(until=duration)
+    warmup = min(1.0, duration / 4)
+    flows = {}
+    for fid, reserved in (("f1", 32_000), ("f2", 1_024_000)):
+        rec = net.sinks.flow(fid)
+        goodput = rec.throughput_bps(warmup, duration)
+        delays = net.sinks.delays(fid)
+        max_ms = max(delays) * 1e3 if delays else float("nan")
+        flows[fid] = {
+            "goodput_bps": goodput,
+            "reserved_bps": reserved,
+            "max_ms": max_ms,
+        }
+    return {"scheduler": name, "flows": flows, "engine": net.engine_stats()}
+
+
+def _e7_body(p: E7Params, ctx: RunContext) -> Dict:
     """Reserved flows' goodput vs reservation with best-effort overload (E7).
 
     FIFO is included to show the failure mode the QoS schedulers prevent.
     """
+    records = ctx.sweep(
+        _e7_point,
+        [(name, p.duration, p.n_background, ctx.seed)
+         for name in p.schedulers],
+    )
+    ctx.add_points(records)
+    for record in records:
+        ctx.record_engine(record["engine"])
     rows = []
-    results: Dict[str, Dict] = {}
-    warmup = min(1.0, duration / 4)
-    for name in schedulers:
-        # Heavy overload: the two best-effort sources alone offer ~1.6x
-        # the bottleneck rate, so without isolation the reserved flows
-        # queue behind a permanently growing best-effort backlog.
-        net = dumbbell_network(
-            name,
-            n_background=n_background,
-            best_effort_peak_bps=16_000_000,
-            be_max_queue=2000,
-        )
-        net.run(until=duration)
-        per = {}
-        for fid, reserved in (("f1", 32_000), ("f2", 1_024_000)):
-            rec = net.sinks.flow(fid)
-            goodput = rec.throughput_bps(warmup, duration)
-            delays = net.sinks.delays(fid)
-            max_ms = max(delays) * 1e3 if delays else float("nan")
-            per[fid] = {
-                "goodput_bps": goodput,
-                "reserved_bps": reserved,
-                "max_ms": max_ms,
-            }
-            rows.append(
-                [name, fid, reserved / 1e3, round(goodput / 1e3, 1),
-                 round(goodput / reserved, 3), round(max_ms, 1)]
-            )
-        results[name] = per
-    table = format_table(
+    for record in records:
+        for fid, flow in record["flows"].items():
+            rows.append({
+                "scheduler": record["scheduler"],
+                "flow": fid,
+                "reserved_kbps": flow["reserved_bps"] / 1e3,
+                "goodput_kbps": round(flow["goodput_bps"] / 1e3, 1),
+                "ratio": round(flow["goodput_bps"] / flow["reserved_bps"], 3),
+                "max_ms": round(flow["max_ms"], 1),
+            })
+    ctx.table(
         ["scheduler", "flow", "reserved kb/s", "goodput kb/s", "ratio",
          "max delay ms"],
-        rows,
+        records=rows,
+        columns=["scheduler", "flow", "reserved_kbps", "goodput_kbps",
+                 "ratio", "max_ms"],
         title=(
             f"E7: reserved-flow goodput under best-effort overload, "
-            f"{n_background} background flows, {duration:.0f}s"
+            f"{p.n_background} background flows, {p.duration:.0f}s"
         ),
     )
-    _emit(table, quiet)
-    return results
+    return {r["scheduler"]: r["flows"] for r in records}
+
+
+def e7_guarantees(
+    schedulers: Sequence[str] = None,
+    *,
+    duration: float = None,
+    n_background: int = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Reserved flows' goodput under best-effort overload (E7)."""
+    return _metrics(
+        "e7",
+        {"schedulers": schedulers, "duration": duration,
+         "n_background": n_background},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
 
 
 # ---------------------------------------------------------------------------
 # E8 — G-3 vs SRR vs RRR (the supplied text's Fig. 9)
 # ---------------------------------------------------------------------------
 
-def e8_g3_comparison(
-    schedulers: Sequence[str] = ("g3", "srr", "rrr"),
-    *,
-    duration: float = 8.0,
-    n_background: int = 500,
-    quiet: bool = False,
-) -> Dict:
+@dataclass(frozen=True)
+class E8Params:
+    schedulers: Tuple[str, ...] = ("g3", "srr", "rrr")
+    duration: float = 8.0
+    n_background: int = 500
+
+
+def _e8_point(name: str, duration: float, n_background: int, seed: int) -> Dict:
+    net = dumbbell_network(name, n_background=n_background, seed=seed)
+    net.run(until=duration)
+    flows = {}
+    for fid in ("f1", "f2"):
+        stats = summarize_delays(net.sinks.delays(fid))
+        flows[fid] = {
+            "max_ms": stats.maximum * 1e3,
+            "mean_ms": stats.mean * 1e3,
+        }
+    return {"scheduler": name, "flows": flows, "engine": net.engine_stats()}
+
+
+def _e8_body(p: E8Params, ctx: RunContext) -> Dict:
     """Extension experiment: the follow-on paper's Fig. 9 comparison (E8).
 
     Analytic G-3 end-to-end bounds for the two bottleneck hops plus 20 ms
@@ -496,125 +769,343 @@ def e8_g3_comparison(
             [g3_delay_bound(64, capacity_units, MTU, BOTTLENECK_BPS)] * 2,
         ) + 0.020 + 2 * 0.001,
     }
+    records = ctx.sweep(
+        _e8_point,
+        [(name, p.duration, p.n_background, ctx.seed)
+         for name in p.schedulers],
+    )
+    ctx.add_points(records)
+    for record in records:
+        ctx.record_engine(record["engine"])
     rows = []
-    results: Dict[str, Dict] = {"bounds": {k: v * 1e3 for k, v in bounds.items()}}
-    for name in schedulers:
-        net = dumbbell_network(name, n_background=n_background)
-        net.run(until=duration)
-        per = {}
-        for fid in ("f1", "f2"):
-            delays = net.sinks.delays(fid)
-            stats = summarize_delays(delays)
-            per[fid] = {"max_ms": stats.maximum * 1e3,
-                        "mean_ms": stats.mean * 1e3}
-            rows.append(
-                [name, fid,
-                 round(stats.mean * 1e3, 2),
-                 round(stats.maximum * 1e3, 2),
-                 round(bounds[fid] * 1e3, 1) if name == "g3" else "-"]
-            )
-        results[name] = per
-    table = format_table(
+    for record in records:
+        for fid, flow in record["flows"].items():
+            rows.append({
+                "scheduler": record["scheduler"],
+                "flow": fid,
+                "mean_ms": round(flow["mean_ms"], 2),
+                "max_ms": round(flow["max_ms"], 2),
+                "bound_ms": (
+                    round(bounds[fid] * 1e3, 1)
+                    if record["scheduler"] == "g3" else "-"
+                ),
+            })
+    ctx.table(
         ["scheduler", "flow", "mean ms", "max ms", "G-3 bound ms"],
-        rows,
+        records=rows,
+        columns=["scheduler", "flow", "mean_ms", "max_ms", "bound_ms"],
         title=(
             "E8 [ext]: Fig. 9 of the follow-on text — G-3 vs SRR vs RRR "
-            f"end-to-end delays ({n_background} bg flows, {duration:.0f}s)"
+            f"end-to-end delays ({p.n_background} bg flows, "
+            f"{p.duration:.0f}s)"
         ),
     )
-    _emit(table, quiet)
+    results: Dict[str, Dict] = {
+        "bounds": {k: v * 1e3 for k, v in bounds.items()}
+    }
+    for record in records:
+        results[record["scheduler"]] = record["flows"]
     return results
+
+
+def e8_g3_comparison(
+    schedulers: Sequence[str] = None,
+    *,
+    duration: float = None,
+    n_background: int = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """G-3 vs SRR vs RRR end-to-end delays (E8, follow-on Fig. 9)."""
+    return _metrics(
+        "e8",
+        {"schedulers": schedulers, "duration": duration,
+         "n_background": n_background},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
 
 
 # ---------------------------------------------------------------------------
 # E9 — space-time tradeoffs
 # ---------------------------------------------------------------------------
 
-def e9_space_time(
-    *,
-    wss_order: int = 16,
-    stored_order: int = 9,
-    lookups: int = 20000,
-    quiet: bool = False,
-) -> Dict:
+@dataclass(frozen=True)
+class E9Params:
+    wss_order: int = 16
+    stored_order: int = 9
+    lookups: int = 20000
+
+
+def _e9_tarray_point(expanded: Optional[int]) -> Dict:
+    from ..extensions.g3 import G3Scheduler
+
+    sched = G3Scheduler(capacity=255, expanded_levels=expanded)
+    for i in range(64):
+        sched.add_flow(i, 1)
+        sched.enqueue(Packet(i, MTU))
+    for i in range(64):
+        sched.enqueue(Packet(i, MTU, seq=1))
+    storage = sum(t.tarray.storage_entries for t in sched.trees.values())
+    count = 128
+    start = time.perf_counter()
+    for _ in range(count):
+        sched.dequeue()
+    per_packet = (time.perf_counter() - start) / count
+    label = "full" if expanded is None else f"top {expanded} levels"
+    return {
+        "expansion": label,
+        "storage": storage,
+        "us": round(per_packet * 1e6, 2),
+        "us_raw": per_packet * 1e6,
+    }
+
+
+def _e9_body(p: E9Params, ctx: RunContext) -> Dict:
     """WSS storage strategies and TArray expansion ablation (E9).
 
     Compares stored entries and per-term lookup time for: the paper's
     materialised array, the fold-onto-smaller-table tradeoff, and the
     closed form; plus G-3 TArray partial expansion (space vs extra walk).
     """
-    # --- WSS strategies ---------------------------------------------------
-    cursor = WSSCursor(wss_order)
-    materialized = MaterializedWSS(wss_order)
-    folded = FoldedWSS(wss_order, stored_order)
-    length = (1 << wss_order) - 1
+    # --- WSS strategies (shared cursor state: timed inline) ---------------
+    cursor = WSSCursor(p.wss_order)
+    materialized = MaterializedWSS(p.wss_order)
+    folded = FoldedWSS(p.wss_order, p.stored_order)
+    length = (1 << p.wss_order) - 1
 
     def time_lookups(fn) -> float:
         start = time.perf_counter()
-        for i in range(1, lookups + 1):
+        for i in range(1, p.lookups + 1):
             fn(1 + (i * 2654435761) % length)
-        return (time.perf_counter() - start) / lookups
+        return (time.perf_counter() - start) / p.lookups
 
     def cursor_term(_pos: int) -> int:
         return cursor.advance()
 
-    wss_rows = [
-        ["closed form (v2+1)", 0, round(time_lookups(cursor_term) * 1e9, 1)],
-        ["materialised 2^k", materialized.storage_entries,
-         round(time_lookups(materialized.term) * 1e9, 1)],
-        [f"folded onto 2^{stored_order}", folded.storage_entries,
-         round(time_lookups(folded.term) * 1e9, 1)],
+    wss_records = [
+        {"strategy": "closed form (v2+1)", "entries": 0,
+         "ns": round(time_lookups(cursor_term) * 1e9, 1)},
+        {"strategy": "materialised 2^k",
+         "entries": materialized.storage_entries,
+         "ns": round(time_lookups(materialized.term) * 1e9, 1)},
+        {"strategy": f"folded onto 2^{p.stored_order}",
+         "entries": folded.storage_entries,
+         "ns": round(time_lookups(folded.term) * 1e9, 1)},
     ]
-    # --- TArray expansion ablation -----------------------------------------
-    tarray_rows = []
-    tarray_results = {}
-    for expanded in (None, 6, 3, 0):
-        sched = G3Scheduler(capacity=255, expanded_levels=expanded)
-        for i in range(64):
-            sched.add_flow(i, 1)
-            sched.enqueue(Packet(i, MTU))
-        for i in range(64):
-            sched.enqueue(Packet(i, MTU, seq=1))
-        storage = sum(
-            t.tarray.storage_entries for t in sched.trees.values()
-        )
-        count = 128
-        start = time.perf_counter()
-        for _ in range(count):
-            sched.dequeue()
-        per_packet = (time.perf_counter() - start) / count
-        label = "full" if expanded is None else f"top {expanded} levels"
-        tarray_rows.append([label, storage, round(per_packet * 1e6, 2)])
-        tarray_results[label] = {"storage": storage, "us": per_packet * 1e6}
-    table = format_table(
-        ["WSS strategy", "stored entries", "ns/term"],
-        wss_rows,
-        title=f"E9a: WSS^{wss_order} storage strategies",
+    # --- TArray expansion ablation (independent points: swept) -----------
+    tarray_records = ctx.sweep(
+        _e9_tarray_point, [(expanded,) for expanded in (None, 6, 3, 0)]
     )
-    _emit(table, quiet)
-    table2 = format_table(
+    ctx.add_points([{"part": "wss", **r} for r in wss_records])
+    ctx.add_points([{"part": "tarray", **r} for r in tarray_records])
+    ctx.table(
+        ["WSS strategy", "stored entries", "ns/term"],
+        records=wss_records,
+        columns=["strategy", "entries", "ns"],
+        title=f"E9a: WSS^{p.wss_order} storage strategies",
+    )
+    ctx.table(
         ["TArray expansion", "stored entries", "us/packet"],
-        tarray_rows,
+        records=tarray_records,
+        columns=["expansion", "storage", "us"],
         title="E9b: G-3 TArray partial expansion (capacity 255, 64 flows)",
     )
-    _emit(table2, quiet)
     return {
-        "wss": {row[0]: {"entries": row[1], "ns": row[2]} for row in wss_rows},
-        "tarray": tarray_results,
+        "wss": {
+            r["strategy"]: {"entries": r["entries"], "ns": r["ns"]}
+            for r in wss_records
+        },
+        "tarray": {
+            r["expansion"]: {"storage": r["storage"], "us": r["us_raw"]}
+            for r in tarray_records
+        },
     }
+
+
+def e9_space_time(
+    *,
+    wss_order: int = None,
+    stored_order: int = None,
+    lookups: int = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """WSS storage strategies and TArray expansion ablation (E9)."""
+    return _metrics(
+        "e9",
+        {"wss_order": wss_order, "stored_order": stored_order,
+         "lookups": lookups},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E10 — measured delay vs analytic bound
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class E10Params:
+    n_flows: int = 40
+    rounds: int = 30
+    weight_cases: Tuple[int, ...] = (1, 2, 4, 7, 12, 32)
+
+
+def _e10_point(name: str, weight: int, n_flows: int, rounds: int) -> Dict:
+    from ..analysis.service_curves import max_ideal_lag
+
+    link = BOTTLENECK_BPS
+    packet_time = MTU * 8.0 / link
+    capacity_units = 1 << (n_flows + 40).bit_length()
+    kwargs = {}
+    # The slotted schedulers are validated at full reservation so
+    # every slot is busy (idle-slot skipping would otherwise let
+    # the work-conserving emulation finish early and trivialise
+    # the bound check).
+    if name in ("g3", "rrr"):
+        kwargs["capacity"] = capacity_units
+        competitors = capacity_units - weight
+    else:
+        competitors = n_flows
+    # Register the tagged flow AFTER half the competitors so it
+    # does not land in the most favourable slot/scan position.
+    weights: Dict[Hashable, float] = {}
+    weights.update({f"bg{i}": 1 for i in range(competitors // 2)})
+    weights["tag"] = weight
+    weights.update(
+        {f"bg{i}": 1 for i in range(competitors // 2, competitors)}
+    )
+    sched = create_scheduler(name, **kwargs)
+    for fid, w in weights.items():
+        sched.add_flow(fid, w)
+    # Keep every flow backlogged for the whole measurement with
+    # per-flow packet counts proportional to its weight.
+    for fid, w in weights.items():
+        for seq_no in range(rounds * int(w) + 8):
+            sched.enqueue(Packet(fid, MTU, seq=seq_no))
+    total = sum(int(w) for w in weights.values())
+    finish, slot = [], 0
+    budget = rounds * total
+    while len(finish) < rounds * weight and slot < budget:
+        packet = sched.dequeue()
+        if packet is None:
+            break
+        slot += 1
+        if packet.flow_id == "tag":
+            finish.append(slot * packet_time)
+    if name == "srr":
+        rate = weight / total * link
+        bound = srr_delay_bound(weight, n_flows + 1, MTU, link, link / total)
+    elif name == "g3":
+        rate = weight / capacity_units * link
+        bound = g3_delay_bound(weight, capacity_units, MTU, link)
+    else:
+        rate = weight / capacity_units * link
+        bound = rrr_delay_bound(weight, capacity_units, MTU, link)
+    measured = max_ideal_lag(finish, rate, MTU)
+    return {
+        "scheduler": name,
+        "weight": weight,
+        "measured": measured,
+        "bound": bound,
+        "measured_ms": round(measured * 1e3, 3),
+        "bound_ms": round(bound * 1e3, 3),
+        "ok": measured <= bound + 1e-9,
+    }
+
+
+def _e10_body(p: E10Params, ctx: RunContext) -> Dict:
+    """Measured worst lag vs analytic bound for SRR, G-3 and RRR (E10).
+
+    Single node in slot time: every dequeue is one ``L/C`` transmission.
+    A tagged flow (several weights) stays backlogged among ``n_flows``
+    unit-weight competitors; its per-packet finish times are compared to
+    the ideal ``i * L / r`` service (Definition 1) and the worst lag must
+    stay below the scheduler's bound.
+    """
+    tasks = [
+        (name, weight, p.n_flows, p.rounds)
+        for weight in p.weight_cases for name in ("srr", "g3", "rrr")
+    ]
+    records = ctx.sweep(_e10_point, tasks)
+    ctx.add_points(records)
+    ctx.table(
+        ["scheduler", "weight", "measured ms", "bound ms", "within bound"],
+        records=records,
+        columns=["scheduler", "weight", "measured_ms", "bound_ms", "ok"],
+        title=(
+            f"E10: measured worst lag vs analytic bound "
+            f"({p.n_flows} unit-weight competitors, slot-time model)"
+        ),
+    )
+    results: Dict[str, List] = {"srr": [], "g3": [], "rrr": []}
+    for record in records:
+        results[record["scheduler"]].append({
+            "weight": record["weight"],
+            "measured": record["measured"],
+            "bound": record["bound"],
+            "ok": record["ok"],
+        })
+    return results
+
+
+def e10_bound_validation(
+    *,
+    n_flows: int = None,
+    rounds: int = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Measured worst lag vs analytic bound for SRR, G-3 and RRR (E10)."""
+    return _metrics(
+        "e10",
+        {"n_flows": n_flows, "rounds": rounds},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
 
 
 # ---------------------------------------------------------------------------
 # E11 — variable packet sizes (the "multi-service" in the title)
 # ---------------------------------------------------------------------------
 
-def e11_variable_packet_sizes(
-    *,
-    rounds: int = 300,
-    small: int = 64,
-    large: int = 1500,
-    quiet: bool = False,
+@dataclass(frozen=True)
+class E11Params:
+    rounds: int = 300
+    small: int = 64
+    large: int = 1500
+
+
+def _e11_point(
+    label: str, name: str, kwargs: Dict, rounds: int, small: int, large: int
 ) -> Dict:
+    sched = create_scheduler(name, **kwargs)
+    sched.add_flow("small", 1)
+    sched.add_flow("large", 1)
+    # Deep backlogs so NEITHER flow drains inside the measurement —
+    # the byte split is only meaningful while both are backlogged.
+    for i in range(rounds * (large // small + 2)):
+        sched.enqueue(Packet("small", small, seq=i))
+    for i in range(rounds * 3):
+        sched.enqueue(Packet("large", large, seq=i))
+    sent = {"small": 0, "large": 0}
+    budget_bytes = rounds * 2 * large
+    served = 0
+    while served < budget_bytes:
+        packet = sched.dequeue()
+        if packet is None:
+            break
+        sent[packet.flow_id] += packet.size
+        served += packet.size
+    ratio = sent["large"] / max(sent["small"], 1)
+    return {
+        "scheduler": label,
+        "small_bytes": sent["small"],
+        "large_bytes": sent["large"],
+        "ratio": round(ratio, 3),
+        "ratio_raw": ratio,
+    }
+
+
+def _e11_body(p: E11Params, ctx: RunContext) -> Dict:
     """Byte fairness under bimodal packet sizes (E11).
 
     Two equal-weight flows, one sending ``small``-byte packets and one
@@ -630,161 +1121,88 @@ def e11_variable_packet_sizes(
     """
     cases = [
         ("srr packet", "srr", {"mode": "packet"}),
-        ("srr deficit", "srr", {"mode": "deficit", "quantum": large}),
-        ("drr", "drr", {"quantum": large}),
+        ("srr deficit", "srr", {"mode": "deficit", "quantum": p.large}),
+        ("drr", "drr", {"quantum": p.large}),
         ("wfq", "wfq", {}),
     ]
-    rows = []
-    results: Dict[str, float] = {}
-    for label, name, kwargs in cases:
-        sched = create_scheduler(name, **kwargs)
-        sched.add_flow("small", 1)
-        sched.add_flow("large", 1)
-        # Deep backlogs so NEITHER flow drains inside the measurement —
-        # the byte split is only meaningful while both are backlogged.
-        for i in range(rounds * (large // small + 2)):
-            sched.enqueue(Packet("small", small, seq=i))
-        for i in range(rounds * 3):
-            sched.enqueue(Packet("large", large, seq=i))
-        sent = {"small": 0, "large": 0}
-        budget_bytes = rounds * 2 * large
-        served = 0
-        while served < budget_bytes:
-            packet = sched.dequeue()
-            if packet is None:
-                break
-            sent[packet.flow_id] += packet.size
-            served += packet.size
-        ratio = sent["large"] / max(sent["small"], 1)
-        results[label] = ratio
-        rows.append(
-            [label, sent["small"], sent["large"], round(ratio, 3)]
-        )
-    table = format_table(
+    records = ctx.sweep(
+        _e11_point,
+        [(label, name, kwargs, p.rounds, p.small, p.large)
+         for label, name, kwargs in cases],
+    )
+    ctx.add_points(records)
+    ctx.table(
         ["scheduler", "small-flow bytes", "large-flow bytes",
          "byte ratio (1.0 = fair)"],
-        rows,
+        records=records,
+        columns=["scheduler", "small_bytes", "large_bytes", "ratio"],
         title=(
-            f"E11: byte fairness, equal weights, {small} B vs {large} B "
+            f"E11: byte fairness, equal weights, {p.small} B vs {p.large} B "
             "packets (saturated)"
         ),
     )
-    _emit(table, quiet)
-    return results
+    return {r["scheduler"]: r["ratio_raw"] for r in records}
 
 
-# ---------------------------------------------------------------------------
-# E10 — measured delay vs analytic bound
-# ---------------------------------------------------------------------------
-
-def e10_bound_validation(
+def e11_variable_packet_sizes(
     *,
-    n_flows: int = 40,
-    rounds: int = 30,
+    rounds: int = None,
+    small: int = None,
+    large: int = None,
     quiet: bool = False,
+    jobs: int = 1,
 ) -> Dict:
-    """Measured worst lag vs analytic bound for SRR, G-3 and RRR (E10).
-
-    Single node in slot time: every dequeue is one ``L/C`` transmission.
-    A tagged flow (several weights) stays backlogged among ``n_flows``
-    unit-weight competitors; its per-packet finish times are compared to
-    the ideal ``i * L / r`` service (Definition 1) and the worst lag must
-    stay below the scheduler's bound.
-    """
-    link = BOTTLENECK_BPS
-    packet_time = MTU * 8.0 / link
-    rows = []
-    results: Dict[str, List] = {"srr": [], "g3": [], "rrr": []}
-    cases = [1, 2, 4, 7, 12, 32]
-    capacity_units = 1 << (n_flows + 40).bit_length()
-    rrr_capacity = 1 << (n_flows + 40).bit_length()
-    for weight in cases:
-        for name in ("srr", "g3", "rrr"):
-            kwargs = {}
-            # The slotted schedulers are validated at full reservation so
-            # every slot is busy (idle-slot skipping would otherwise let
-            # the work-conserving emulation finish early and trivialise
-            # the bound check).
-            if name == "g3":
-                kwargs["capacity"] = capacity_units
-                competitors = capacity_units - weight
-            elif name == "rrr":
-                kwargs["capacity"] = rrr_capacity
-                competitors = rrr_capacity - weight
-            else:
-                competitors = n_flows
-            # Register the tagged flow AFTER half the competitors so it
-            # does not land in the most favourable slot/scan position.
-            weights: Dict[Hashable, float] = {}
-            weights.update({f"bg{i}": 1 for i in range(competitors // 2)})
-            weights["tag"] = weight
-            weights.update(
-                {f"bg{i}": 1 for i in range(competitors // 2, competitors)}
-            )
-            sched = create_scheduler(name, **kwargs)
-            for fid, w in weights.items():
-                sched.add_flow(fid, w)
-            # Keep every flow backlogged for the whole measurement with
-            # per-flow packet counts proportional to its weight.
-            for fid, w in weights.items():
-                for seq_no in range(rounds * int(w) + 8):
-                    sched.enqueue(Packet(fid, MTU, seq=seq_no))
-            total = sum(int(w) for w in weights.values())
-            finish, slot = [], 0
-            budget = rounds * total
-            while len(finish) < rounds * weight and slot < budget:
-                packet = sched.dequeue()
-                if packet is None:
-                    break
-                slot += 1
-                if packet.flow_id == "tag":
-                    finish.append(slot * packet_time)
-            rate = weight / (capacity_units if name in ("g3", "rrr") else total) * link
-            if name == "srr":
-                rate = weight / total * link
-                bound = srr_delay_bound(
-                    weight, n_flows + 1, MTU, link, link / total
-                )
-            elif name == "g3":
-                rate = weight / capacity_units * link
-                bound = g3_delay_bound(weight, capacity_units, MTU, link)
-            else:
-                rate = weight / rrr_capacity * link
-                bound = rrr_delay_bound(weight, rrr_capacity, MTU, link)
-            measured = max_ideal_lag(finish, rate, MTU)
-            ok = measured <= bound + 1e-9
-            results[name].append(
-                {"weight": weight, "measured": measured, "bound": bound,
-                 "ok": ok}
-            )
-            rows.append(
-                [name, weight, round(measured * 1e3, 3),
-                 round(bound * 1e3, 3), ok]
-            )
-    table = format_table(
-        ["scheduler", "weight", "measured ms", "bound ms", "within bound"],
-        rows,
-        title=(
-            f"E10: measured worst lag vs analytic bound "
-            f"({n_flows} unit-weight competitors, slot-time model)"
-        ),
+    """Byte fairness under bimodal packet sizes (E11)."""
+    return _metrics(
+        "e11",
+        {"rounds": rounds, "small": small, "large": large},
+        quiet=quiet, jobs=jobs, seed=1,
     )
-    _emit(table, quiet)
-    return results
 
 
 # ---------------------------------------------------------------------------
 # E12 — admission control and delay quotes (the control plane)
 # ---------------------------------------------------------------------------
 
-def e12_admission_quotes(
-    schedulers: Sequence[str] = ("srr", "drr", "g3", "wfq", "fifo"),
-    *,
-    rate_bps: float = 1_024_000,
-    sigma_bytes: float = 600.0,
-    validate: bool = True,
-    quiet: bool = False,
-) -> Dict:
+@dataclass(frozen=True)
+class E12Params:
+    schedulers: Tuple[str, ...] = ("srr", "drr", "g3", "wfq", "fifo")
+    rate_bps: float = 1_024_000
+    sigma_bytes: float = 600.0
+    validate: bool = True
+
+
+def _e12_network(scheduler: str):
+    from ..net.scenario import Network
+
+    kwargs = {"capacity": 625} if scheduler == "g3" else {}
+    net = Network(default_scheduler=scheduler,
+                  default_scheduler_kwargs=kwargs)
+    for n in ("edge", "core1", "core2", "exit"):
+        net.add_node(n)
+    net.add_link("edge", "core1", rate_bps=100e6, delay=0.001)
+    net.add_link("core1", "core2", rate_bps=BOTTLENECK_BPS, delay=0.010)
+    net.add_link("core2", "exit", rate_bps=BOTTLENECK_BPS, delay=0.010)
+    return net
+
+
+def _e12_quote_point(scheduler: str, rate_bps: float, sigma_bytes: float) -> Dict:
+    from ..qos import AdmissionController
+
+    unit = BOTTLENECK_BPS / 625 if scheduler == "g3" else WEIGHT_UNIT_BPS
+    cac = AdmissionController(_e12_network(scheduler), weight_unit_bps=unit)
+    quote = cac.request(
+        "video", "edge", "exit", rate_bps, sigma_bytes=sigma_bytes
+    ).quote
+    return {
+        "scheduler": scheduler,
+        "total_ms": quote.milliseconds(),
+        "sched_ms": sum(quote.per_hop) * 1e3,
+        "guaranteed": quote.guaranteed,
+    }
+
+
+def _e12_body(p: E12Params, ctx: RunContext) -> Dict:
     """End-to-end delay quotes per discipline + empirical validation (E12).
 
     The call admission controller quotes Corollary-1 bounds for the same
@@ -795,52 +1213,35 @@ def e12_admission_quotes(
     promise nothing. With ``validate`` the SRR quote is checked by
     saturating the path and measuring.
     """
-    from ..net.scenario import Network
     from ..net.shaping import TokenBucketShaper
     from ..net.sources import CBRSource
     from ..qos import AdmissionController
 
-    def build(scheduler: str) -> Network:
-        kwargs = {"capacity": 625} if scheduler == "g3" else {}
-        net = Network(default_scheduler=scheduler,
-                      default_scheduler_kwargs=kwargs)
-        for n in ("edge", "core1", "core2", "exit"):
-            net.add_node(n)
-        net.add_link("edge", "core1", rate_bps=100e6, delay=0.001)
-        net.add_link("core1", "core2", rate_bps=BOTTLENECK_BPS, delay=0.010)
-        net.add_link("core2", "exit", rate_bps=BOTTLENECK_BPS, delay=0.010)
-        return net
-
-    rows = []
-    results: Dict[str, Dict] = {}
-    for scheduler in schedulers:
-        unit = (
-            BOTTLENECK_BPS / 625 if scheduler == "g3" else WEIGHT_UNIT_BPS
-        )
-        cac = AdmissionController(build(scheduler), weight_unit_bps=unit)
-        quote = cac.request(
-            "video", "edge", "exit", rate_bps, sigma_bytes=sigma_bytes
-        ).quote
-        results[scheduler] = {
-            "total_ms": quote.milliseconds(),
-            "guaranteed": quote.guaranteed,
+    records = ctx.sweep(
+        _e12_quote_point,
+        [(scheduler, p.rate_bps, p.sigma_bytes)
+         for scheduler in p.schedulers],
+    )
+    ctx.add_points(records)
+    results: Dict[str, Dict] = {
+        r["scheduler"]: {
+            "total_ms": r["total_ms"],
+            "guaranteed": r["guaranteed"],
         }
-        rows.append([
-            scheduler,
-            round(quote.milliseconds(), 2),
-            round(sum(quote.per_hop) * 1e3, 2),
-            quote.guaranteed,
-        ])
+        for r in records
+    }
     measured_ms = None
-    if validate:
-        net = build("srr")
+    if p.validate:
+        net = _e12_network("srr")
         cac = AdmissionController(net, weight_unit_bps=WEIGHT_UNIT_BPS)
         res = cac.request(
-            "video", "edge", "exit", rate_bps, sigma_bytes=sigma_bytes
+            "video", "edge", "exit", p.rate_bps, sigma_bytes=p.sigma_bytes
         )
-        shaper = TokenBucketShaper(sigma_bytes=sigma_bytes, rate_bps=rate_bps)
+        shaper = TokenBucketShaper(
+            sigma_bytes=p.sigma_bytes, rate_bps=p.rate_bps
+        )
         net.attach_source(
-            "video", CBRSource(rate_bps, MTU), shaper=shaper
+            "video", CBRSource(p.rate_bps, MTU), shaper=shaper
         )
         i = 0
         while True:
@@ -852,25 +1253,163 @@ def e12_admission_quotes(
             except Exception:
                 break
         net.run(until=4.0)
+        ctx.record_engine(net.engine_stats())
         delays = net.sinks.delays("video")
         measured_ms = max(delays) * 1e3
-        results["validation"] = {
+        validation = {
             "competitors": i,
             "measured_max_ms": measured_ms,
             "quote_ms": res.quote.milliseconds(),
             "within_quote": measured_ms <= res.quote.milliseconds(),
         }
-    table = format_table(
+        results["validation"] = validation
+        ctx.add_point({"scheduler": "validation", **validation})
+    ctx.table(
         ["scheduler", "e2e quote ms", "sched part ms", "guaranteed"],
-        rows,
+        records=records,
+        columns=[
+            "scheduler",
+            lambda r: round(r["total_ms"], 2),
+            lambda r: round(r["sched_ms"], 2),
+            "guaranteed",
+        ],
         title=(
-            f"E12: CAC delay quotes for a {rate_bps / 1e3:.0f} kb/s "
-            f"(sigma={sigma_bytes:.0f}B) reservation over two 10 Mb/s hops"
+            f"E12: CAC delay quotes for a {p.rate_bps / 1e3:.0f} kb/s "
+            f"(sigma={p.sigma_bytes:.0f}B) reservation over two 10 Mb/s hops"
             + (
                 f"; SRR quote validated under saturation: measured "
                 f"{measured_ms:.1f} ms" if measured_ms is not None else ""
             )
         ),
     )
-    _emit(table, quiet)
     return results
+
+
+def e12_admission_quotes(
+    schedulers: Sequence[str] = None,
+    *,
+    rate_bps: float = None,
+    sigma_bytes: float = None,
+    validate: bool = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """End-to-end delay quotes per discipline + empirical validation (E12)."""
+    return _metrics(
+        "e12",
+        {"schedulers": schedulers, "rate_bps": rate_bps,
+         "sigma_bytes": sigma_bytes, "validate": validate},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The declarative experiment registry
+# ---------------------------------------------------------------------------
+
+SPECS: Dict[str, ExperimentSpec] = {
+    "e1": ExperimentSpec(
+        eid="e1",
+        title="WSS definition table and properties",
+        params_type=E1Params,
+        body=_e1_body,
+        scales={"quick": {"max_order": 8}, "full": {"max_order": 14}},
+    ),
+    "e2": ExperimentSpec(
+        eid="e2",
+        title="service-order smoothness: SRR vs WRR/DRR/RR",
+        params_type=E2Params,
+        body=_e2_body,
+        scales={"quick": {"rounds": 4}, "full": {"rounds": 16}},
+    ),
+    "e3": ExperimentSpec(
+        eid="e3",
+        title="end-to-end delay in the Fig. 8 dumbbell",
+        params_type=E3Params,
+        body=_e3_body,
+        scales={
+            "quick": {"duration": 3.0, "n_background": 100},
+            "full": {"duration": 20.0, "repeats": 5},
+        },
+    ),
+    "e4": ExperimentSpec(
+        eid="e4",
+        title="delay vs number of flows N (Theorem 1 shape)",
+        params_type=E4Params,
+        body=_e4_body,
+        scales={
+            "quick": {"n_values": (16, 64, 128), "duration": 2.0},
+            "full": {"duration": 8.0},
+        },
+    ),
+    "e5": ExperimentSpec(
+        eid="e5",
+        title="per-packet scheduling cost vs N (the O(1) claim)",
+        params_type=E5Params,
+        body=_e5_body,
+        scales={
+            "quick": {"n_values": (16, 256, 2048), "measure": 1500},
+            "full": {"time_it": True},
+        },
+        timing_fields=("us_per_packet",),
+    ),
+    "e6": ExperimentSpec(
+        eid="e6",
+        title="weighted fairness indices, saturated node",
+        params_type=E6Params,
+        body=_e6_body,
+        scales={"quick": {"rounds": 6}, "full": {"rounds": 24}},
+    ),
+    "e7": ExperimentSpec(
+        eid="e7",
+        title="throughput guarantees under best-effort overload",
+        params_type=E7Params,
+        body=_e7_body,
+        scales={
+            "quick": {"duration": 3.0, "n_background": 50},
+            "full": {"duration": 12.0},
+        },
+    ),
+    "e8": ExperimentSpec(
+        eid="e8",
+        title="[ext] G-3 vs SRR vs RRR (follow-on Fig. 9)",
+        params_type=E8Params,
+        body=_e8_body,
+        scales={
+            "quick": {"duration": 3.0, "n_background": 100},
+            "full": {"duration": 16.0},
+        },
+    ),
+    "e9": ExperimentSpec(
+        eid="e9",
+        title="space-time tradeoffs (WSS storage, TArray expansion)",
+        params_type=E9Params,
+        body=_e9_body,
+        scales={"quick": {"lookups": 4000}, "full": {"lookups": 100000}},
+        timing_fields=("ns", "us", "us_raw"),
+    ),
+    "e10": ExperimentSpec(
+        eid="e10",
+        title="measured delay vs analytic bounds",
+        params_type=E10Params,
+        body=_e10_body,
+        scales={
+            "quick": {"n_flows": 16, "rounds": 12},
+            "full": {"n_flows": 80, "rounds": 60},
+        },
+    ),
+    "e11": ExperimentSpec(
+        eid="e11",
+        title="variable packet sizes: packet vs deficit mode byte fairness",
+        params_type=E11Params,
+        body=_e11_body,
+        scales={"quick": {"rounds": 120}, "full": {"rounds": 600}},
+    ),
+    "e12": ExperimentSpec(
+        eid="e12",
+        title="admission control: per-discipline delay quotes + validation",
+        params_type=E12Params,
+        body=_e12_body,
+        scales={"quick": {"validate": False}, "full": {}},
+    ),
+}

@@ -1,15 +1,32 @@
-"""Experiment registry + CLI (``python -m repro.bench <experiment>``)."""
+"""Experiment registry + CLI (``python -m repro.bench <experiment>``).
+
+The CLI is a thin shell over :mod:`repro.harness`: it resolves one
+:class:`~repro.harness.ExperimentSpec` per requested experiment into an
+:class:`~repro.harness.ExperimentConfig` (``--seed``/``--scale``/
+``--jobs``/``--set key=value``), runs it, writes a ``results/<exp>/
+<timestamp>-<seed>.json`` artifact (disable with ``--no-artifact``) and
+optionally dumps the full :class:`~repro.harness.RunResult` as JSON with
+``--json``.
+
+``run_experiment(name, **kwargs)`` keeps the legacy call style used by
+the pytest benches: kwargs are forwarded to the ``eN_*`` wrapper and the
+summary metrics dict is returned.
+"""
 
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 import sys
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..core.errors import ConfigurationError
+from ..harness import RunResult, build_config, run_config_for_spec
 from . import experiments
+from .experiments import SPECS
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "SPECS", "run_experiment", "run_config", "main"]
 
 EXPERIMENTS: Dict[str, Callable[..., Dict]] = {
     "e1": experiments.e1_wss_properties,
@@ -26,24 +43,11 @@ EXPERIMENTS: Dict[str, Callable[..., Dict]] = {
     "e12": experiments.e12_admission_quotes,
 }
 
-_DESCRIPTIONS = {
-    "e1": "WSS definition table and properties",
-    "e2": "service-order smoothness: SRR vs WRR/DRR/RR",
-    "e3": "end-to-end delay in the Fig. 8 dumbbell",
-    "e4": "delay vs number of flows N (Theorem 1 shape)",
-    "e5": "per-packet scheduling cost vs N (the O(1) claim)",
-    "e6": "weighted fairness indices, saturated node",
-    "e7": "throughput guarantees under best-effort overload",
-    "e8": "[ext] G-3 vs SRR vs RRR (follow-on Fig. 9)",
-    "e9": "space-time tradeoffs (WSS storage, TArray expansion)",
-    "e10": "measured delay vs analytic bounds",
-    "e11": "variable packet sizes: packet vs deficit mode byte fairness",
-    "e12": "admission control: per-discipline delay quotes + validation",
-}
+_DESCRIPTIONS = {eid: spec.title for eid, spec in SPECS.items()}
 
 
 def run_experiment(name: str, **kwargs) -> Dict:
-    """Run one experiment by id (``"e1"`` .. ``"e12"``)."""
+    """Run one experiment by id (``"e1"`` .. ``"e12"``), legacy style."""
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
@@ -51,6 +55,45 @@ def run_experiment(name: str, **kwargs) -> Dict:
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
     return fn(**kwargs)
+
+
+def run_config(
+    name: str,
+    *,
+    seed: int = 1,
+    scale: str = "default",
+    jobs: int = 1,
+    quiet: bool = True,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> RunResult:
+    """Run one experiment through the harness; return the full RunResult."""
+    try:
+        spec = SPECS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choose from {sorted(SPECS)}"
+        ) from None
+    config = build_config(
+        spec, seed=seed, scale=scale, jobs=jobs, quiet=quiet,
+        overrides=overrides,
+    )
+    return run_config_for_spec(spec, config)
+
+
+def _parse_overrides(items: List[str]) -> Dict[str, Any]:
+    """``--set key=value`` pairs; values parsed as Python literals."""
+    overrides: Dict[str, Any] = {}
+    for item in items:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--set expects key=value, got {item!r}"
+            )
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            overrides[key] = raw
+    return overrides
 
 
 def main(argv: List[str] = None) -> int:
@@ -71,25 +114,75 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="reduced scale (shorter simulations, fewer background flows)",
+        help="shorthand for --scale quick",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "default", "full"),
+        default="default",
+        help="parameter preset: quick (CI-sized), default, or full",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="root seed for every RNG in the run (default 1)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool fan-out for sweeps; results are bit-identical "
+             "to --jobs 1 (default 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="override one experiment parameter (repeatable); values are "
+             "Python literals, e.g. --set n_values=(16,64)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full RunResult as JSON instead of tables",
+    )
+    parser.add_argument(
+        "--results-dir", default="results",
+        help="artifact directory (default: results/)",
+    )
+    parser.add_argument(
+        "--no-artifact", action="store_true",
+        help="do not write a results/<exp>/<timestamp>-<seed>.json artifact",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the result tables",
     )
     args = parser.parse_args(argv)
 
-    quick_overrides: Dict[str, Dict] = {
-        "e3": {"duration": 3.0, "n_background": 100},
-        "e4": {"n_values": (16, 64, 128), "duration": 2.0},
-        "e5": {"n_values": (16, 256, 2048), "measure": 1500},
-        "e7": {"duration": 3.0, "n_background": 50},
-        "e8": {"duration": 3.0, "n_background": 100},
-        "e10": {"n_flows": 16, "rounds": 12},
-        "e12": {"validate": False},
-    }
+    from ..harness import write_artifact
+
+    scale = "quick" if args.quick else args.scale
+    overrides = _parse_overrides(args.overrides)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    # 'all' in natural order e1..e10, not lexicographic.
+    # 'all' in natural order e1..e12, not lexicographic.
     names.sort(key=lambda n: int(n[1:]))
+    payloads = []
     for name in names:
-        kwargs = quick_overrides.get(name, {}) if args.quick else {}
-        run_experiment(name, **kwargs)
+        result = run_config(
+            name,
+            seed=args.seed,
+            scale=scale,
+            jobs=args.jobs,
+            quiet=args.quiet or args.json,
+            overrides=overrides if args.experiment != "all" else {
+                k: v for k, v in overrides.items()
+                if k in SPECS[name].param_names()
+            },
+        )
+        if not args.no_artifact:
+            path = write_artifact(result, results_dir=args.results_dir)
+            print(f"wrote {path}", file=sys.stderr)
+        if args.json:
+            payloads.append(result.to_json_dict())
+    if args.json:
+        print(json.dumps(payloads[0] if len(payloads) == 1 else payloads,
+                         indent=2))
     return 0
 
 

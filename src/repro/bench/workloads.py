@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-import repro.extensions  # noqa: F401  (registers rrr/g3)
 from ..core.interfaces import PacketScheduler
 from ..core.opcount import OpCounter
 from ..core.packet import Packet
@@ -19,6 +18,7 @@ __all__ = [
     "build_loaded_scheduler",
     "service_sequence",
     "ops_per_packet",
+    "ops_profile",
     "geometric_weights",
     "uniform_weights",
 ]
@@ -73,7 +73,7 @@ def service_sequence(
     return out
 
 
-def ops_per_packet(
+def ops_profile(
     name: str,
     n_flows: int,
     *,
@@ -81,12 +81,13 @@ def ops_per_packet(
     packets_per_flow: int = 4,
     measure: int = 2000,
     **scheduler_kwargs,
-) -> Tuple[float, int]:
-    """(mean, worst) elementary operations per ``dequeue`` at size N.
+) -> Dict[str, float]:
+    """Elementary-operation profile of ``dequeue`` at size N.
 
     The E5 measurement: flows are saturated, the counter is reset, and
-    ``measure`` packets are pulled; both the average and the worst
-    single-dequeue cost are reported.
+    ``measure`` packets are pulled. Returns ``mean_ops``/``worst_ops``
+    per dequeue plus the raw ``total_ops``/``served`` counters so the
+    run harness can surface operation totals uniformly.
     """
     ops = OpCounter()
     flow_weights = weights or uniform_weights(n_flows)
@@ -107,6 +108,32 @@ def ops_per_packet(
             break
         served += 1
         worst = max(worst, ops.count - before)
-    if served == 0:
-        return (0.0, 0)
-    return (ops.count / served, worst)
+    total = ops.count
+    mean = total / served if served else 0.0
+    return {
+        "mean_ops": mean,
+        "worst_ops": worst if served else 0,
+        "total_ops": total,
+        "served": served,
+    }
+
+
+def ops_per_packet(
+    name: str,
+    n_flows: int,
+    *,
+    weights: Optional[Dict[Hashable, float]] = None,
+    packets_per_flow: int = 4,
+    measure: int = 2000,
+    **scheduler_kwargs,
+) -> Tuple[float, int]:
+    """(mean, worst) elementary operations per ``dequeue`` at size N."""
+    profile = ops_profile(
+        name,
+        n_flows,
+        weights=weights,
+        packets_per_flow=packets_per_flow,
+        measure=measure,
+        **scheduler_kwargs,
+    )
+    return (profile["mean_ops"], int(profile["worst_ops"]))

@@ -42,6 +42,17 @@ class OpCounter:
         """Zero the counter."""
         self.count = 0
 
+    def snapshot(self) -> dict:
+        """The counter as a summable observability dict.
+
+        Shaped to merge with :meth:`repro.net.engine.Simulator.stats`
+        into a run harness's uniform ``engine`` record.
+        """
+        return {"ops": self.count}
+
+    def __int__(self) -> int:
+        return self.count
+
     def __repr__(self) -> str:
         return f"OpCounter(count={self.count})"
 

@@ -1,0 +1,52 @@
+"""The experiment run harness (config -> sweep -> result -> artifact).
+
+This package is the machinery shared by every experiment in
+:mod:`repro.bench`: typed run configuration, deterministic (optionally
+process-parallel) parameter sweeps, and structured, machine-readable
+result artifacts. The experiments themselves stay in the bench layer as
+thin declarative bodies; everything about *running* them — seeding,
+timing, fan-out, table emission, JSON artifacts — lives here.
+
+Layering: ``repro.harness`` depends only on the standard library and
+:mod:`repro.analysis.tables` (for table rendering); it never imports the
+bench layer, so scenario/workload code cannot leak into the runner
+machinery.
+"""
+
+from .config import (
+    SCALES,
+    ExperimentConfig,
+    ExperimentSpec,
+    RunContext,
+    build_config,
+    resolve_params,
+)
+from .result import RunResult, environment_metadata
+from .run import run_config_for_spec, run_spec
+from .sweep import child_seed, spawn_seeds, sweep
+from .artifacts import (
+    artifact_path,
+    benchmark_summary,
+    load_artifact,
+    write_artifact,
+)
+
+__all__ = [
+    "SCALES",
+    "ExperimentConfig",
+    "ExperimentSpec",
+    "RunContext",
+    "RunResult",
+    "artifact_path",
+    "benchmark_summary",
+    "build_config",
+    "child_seed",
+    "environment_metadata",
+    "load_artifact",
+    "resolve_params",
+    "run_config_for_spec",
+    "run_spec",
+    "spawn_seeds",
+    "sweep",
+    "write_artifact",
+]

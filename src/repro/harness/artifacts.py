@@ -1,0 +1,91 @@
+"""Result artifacts: ``results/<exp>/<timestamp>-<seed>.json``.
+
+Every CLI run persists its :class:`~repro.harness.result.RunResult` as a
+JSON artifact so sweeps can be re-analysed (or diffed across commits)
+without re-simulation. The artifact embeds a pytest-benchmark-compatible
+``summary`` block (same shape as the ``BENCH_*.json`` files
+``pytest-benchmark --benchmark-json`` writes: ``machine_info`` plus a
+``benchmarks`` list with per-name ``stats``), so existing benchmark
+tooling can ingest harness runs directly.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .result import RunResult
+
+__all__ = [
+    "artifact_path",
+    "benchmark_summary",
+    "load_artifact",
+    "write_artifact",
+]
+
+
+def benchmark_summary(result: RunResult) -> Dict[str, Any]:
+    """A pytest-benchmark-style summary block for one run."""
+    wall = result.wall_time_s
+    return {
+        "machine_info": {
+            "python_version": platform.python_version(),
+            "python_implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "benchmarks": [
+            {
+                "name": result.experiment,
+                "fullname": f"repro.bench::{result.experiment}",
+                "params": {"seed": result.config.seed,
+                           "scale": result.config.scale,
+                           "jobs": result.config.jobs},
+                "stats": {
+                    "min": wall, "max": wall, "mean": wall, "median": wall,
+                    "stddev": 0.0, "rounds": 1, "iterations": 1,
+                },
+                "extra_info": {
+                    "points": len(result.points),
+                    "events_processed": result.engine.get(
+                        "events_processed", 0
+                    ),
+                },
+            }
+        ],
+    }
+
+
+def artifact_path(
+    result: RunResult, results_dir: Union[str, Path] = "results"
+) -> Path:
+    """``<results_dir>/<exp>/<timestamp>-<seed>.json`` for this run."""
+    started = result.started_at
+    try:
+        ts = datetime.fromisoformat(started)
+    except (TypeError, ValueError):
+        ts = datetime.now(timezone.utc)
+    stamp = ts.strftime("%Y%m%dT%H%M%S.%f")
+    name = f"{stamp}-{result.config.seed}.json"
+    return Path(results_dir) / result.experiment / name
+
+
+def write_artifact(
+    result: RunResult, results_dir: Union[str, Path] = "results"
+) -> Path:
+    """Persist one run; returns the path written."""
+    path = artifact_path(result, results_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = result.to_json_dict()
+    payload["summary"] = benchmark_summary(result)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> RunResult:
+    """Read an artifact back into a :class:`RunResult`."""
+    data = json.loads(Path(path).read_text())
+    return RunResult.from_json_dict(data)

@@ -286,6 +286,10 @@ class Network:
             self.compute_routes()
         return self.sim.run(until=until)
 
+    def engine_stats(self) -> Dict[str, float]:
+        """The simulator's observability counters (see ``Simulator.stats``)."""
+        return self.sim.stats()
+
     def total_backlog(self) -> int:
         """Packets queued across every port (conservation checks)."""
         return sum(

@@ -4,7 +4,13 @@ The benchmark harness and the network simulator refer to scheduling
 disciplines by short names (``"srr"``, ``"drr"``, ``"wfq"``, ...); this
 module resolves them. Extensions (RRR, G-3) register themselves on import
 of :mod:`repro.extensions`, keeping the dependency direction clean
-(core/schedulers never import extensions).
+(core/schedulers never import extensions at module load).
+
+Both :func:`create_scheduler` and :func:`available_schedulers` load the
+extension package lazily on first use, so every entry point — the bench
+CLI, ``Network(default_scheduler="g3")``, sweep worker processes, tests —
+sees the same complete registry without having to remember a manual
+``import repro.extensions``.
 """
 
 from __future__ import annotations
@@ -44,6 +50,18 @@ _REGISTRY: Dict[str, SchedulerFactory] = {
 }
 
 
+_extensions_loaded = False
+
+
+def _load_extensions() -> None:
+    """Import :mod:`repro.extensions` once so rrr/g3 self-register."""
+    global _extensions_loaded
+    if _extensions_loaded:
+        return
+    _extensions_loaded = True
+    import repro.extensions  # noqa: F401
+
+
 def register_scheduler(name: str, factory: SchedulerFactory) -> None:
     """Register (or replace) a scheduler factory under ``name``."""
     if not name:
@@ -53,11 +71,7 @@ def register_scheduler(name: str, factory: SchedulerFactory) -> None:
 
 def create_scheduler(name: str, **kwargs) -> PacketScheduler:
     """Instantiate a scheduler by registry name, passing ``kwargs`` through."""
-    if name not in _REGISTRY:
-        # The extension schedulers (rrr, g3) register on import of
-        # repro.extensions; load them lazily so callers can name them
-        # without importing the package themselves.
-        import repro.extensions  # noqa: F401
+    _load_extensions()
     try:
         factory = _REGISTRY[name]
     except KeyError:
@@ -68,5 +82,6 @@ def create_scheduler(name: str, **kwargs) -> PacketScheduler:
 
 
 def available_schedulers() -> List[str]:
-    """Sorted list of registered scheduler names."""
+    """Sorted list of registered scheduler names (extensions included)."""
+    _load_extensions()
     return sorted(_REGISTRY)

@@ -61,6 +61,10 @@ class WFQScheduler(FlowTableScheduler):
         self._gps = CountingHeap(op_counter=self._ops)
         self._gps_weight = 0.0
         self._gps_members = set()
+        # Deterministic tie-break for equal GPS stamps: push order, not
+        # id(), whose values depend on process allocation history and
+        # would make operation counts irreproducible.
+        self._gps_seq = 0
 
     # -- tagging -----------------------------------------------------------
 
@@ -73,7 +77,8 @@ class WFQScheduler(FlowTableScheduler):
         flow.finish_tag = finish
         self._service.push((finish, packet.uid, packet, flow))
         # (Re-)register the flow's GPS backlog horizon.
-        self._gps.push((finish, id(flow), flow))
+        self._gps_seq += 1
+        self._gps.push((finish, self._gps_seq, flow))
         if packet.flow_id not in self._gps_members:
             self._gps_members.add(packet.flow_id)
             self._gps_weight += flow.weight

@@ -1,0 +1,114 @@
+"""CLI smoke tests for the harness flags: --json/--jobs/--seed/--set."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import main
+from repro.core import ConfigurationError
+
+# A tiny, fast e5 configuration shared by the CLI tests.
+E5_TINY = [
+    "--set", "schedulers=('srr','drr')",
+    "--set", "n_values=(8,)",
+    "--set", "measure=50",
+]
+
+
+def _run_json(capsys, argv):
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestJsonOutput:
+    def test_json_is_parseable_and_complete(self, capsys):
+        data = _run_json(
+            capsys, ["e5", "--json", "--no-artifact", *E5_TINY]
+        )
+        assert data["experiment"] == "e5"
+        assert data["config"]["params"]["measure"] == 50
+        assert data["metrics"]["srr"]["8"] > 0
+        assert len(data["points"]) == 2
+
+    def test_json_suppresses_tables(self, capsys):
+        main(["e5", "--json", "--no-artifact", *E5_TINY])
+        out = capsys.readouterr().out
+        # Pure JSON on stdout: parse must succeed from char 0.
+        json.loads(out)
+
+
+class TestSeed:
+    def test_seed_recorded_in_config(self, capsys):
+        data = _run_json(
+            capsys, ["e5", "--seed", "42", "--json", "--no-artifact",
+                     *E5_TINY]
+        )
+        assert data["config"]["seed"] == 42
+
+    def test_seed_flows_into_stochastic_points(self, capsys):
+        argv = ["e3", "--json", "--no-artifact",
+                "--set", "schedulers=('srr',)",
+                "--set", "duration=0.5", "--set", "n_background=10"]
+        a = _run_json(capsys, [*argv, "--seed", "1"])
+        b = _run_json(capsys, [*argv, "--seed", "2"])
+        assert a["points"][0]["seed"] == 1
+        assert b["points"][0]["seed"] == 2
+
+
+class TestJobs:
+    def test_jobs_do_not_change_results(self, capsys):
+        argv = ["e5", "--json", "--no-artifact", "--seed", "7", *E5_TINY]
+        serial = _run_json(capsys, [*argv, "--jobs", "1"])
+        parallel = _run_json(capsys, [*argv, "--jobs", "2"])
+        volatile = ("started_at", "wall_time_s", "environment", "engine")
+        for data in (serial, parallel):
+            for key in volatile:
+                data.pop(key, None)
+            data["config"].pop("jobs", None)
+        assert serial == parallel
+
+
+class TestArtifacts:
+    def test_artifact_written_under_results_dir(self, capsys, tmp_path):
+        assert main(
+            ["e1", "--quiet", "--set", "max_order=3",
+             "--results-dir", str(tmp_path)]
+        ) == 0
+        files = list((tmp_path / "e1").glob("*-1.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["experiment"] == "e1"
+        assert payload["summary"]["benchmarks"][0]["name"] == "e1"
+
+    def test_no_artifact_writes_nothing(self, capsys, tmp_path):
+        assert main(
+            ["e1", "--quiet", "--no-artifact", "--set", "max_order=3",
+             "--results-dir", str(tmp_path)]
+        ) == 0
+        assert not list(tmp_path.rglob("*.json"))
+
+
+class TestScaleAndOverrides:
+    def test_quick_is_scale_quick(self, capsys):
+        data = _run_json(
+            capsys, ["e1", "--quick", "--json", "--no-artifact"]
+        )
+        assert data["config"]["scale"] == "quick"
+        assert data["config"]["params"]["max_order"] == 8
+
+    def test_bad_set_syntax_rejected(self):
+        with pytest.raises(ConfigurationError):
+            main(["e1", "--no-artifact", "--set", "max_order"])
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            main(["e1", "--no-artifact", "--set", "bogus=1"])
+
+    def test_string_override_falls_back_to_str(self, capsys):
+        data = _run_json(
+            capsys,
+            ["e5", "--json", "--no-artifact",
+             "--set", "schedulers=('srr',)", "--set", "n_values=(8,)",
+             "--set", "measure=50"],
+        )
+        assert data["config"]["params"]["schedulers"] == ["srr"]

@@ -1,0 +1,135 @@
+"""Typed configs, RunResult JSON round-trips, and result artifacts."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import SPECS
+from repro.bench.runner import run_config
+from repro.core import ConfigurationError
+from repro.harness import (
+    ExperimentConfig,
+    RunResult,
+    artifact_path,
+    build_config,
+    load_artifact,
+    resolve_params,
+    write_artifact,
+)
+
+
+class TestResolveParams:
+    def test_defaults_are_the_default_scale(self):
+        params = resolve_params(SPECS["e1"])
+        assert params == {"max_order": 10}
+
+    def test_scale_preset_applies(self):
+        assert resolve_params(SPECS["e1"], "quick") == {"max_order": 8}
+
+    def test_overrides_win_over_scale(self):
+        params = resolve_params(SPECS["e1"], "quick", {"max_order": 3})
+        assert params == {"max_order": 3}
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_params(SPECS["e1"], overrides={"bogus": 1})
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_params(SPECS["e1"], "huge")
+
+    def test_every_spec_resolves_at_every_scale(self):
+        for spec in SPECS.values():
+            for scale in ("quick", "default", "full"):
+                params = resolve_params(spec, scale)
+                # The resolved dict must instantiate the params type.
+                spec.params_type(**params)
+
+
+class TestConfigRoundTrip:
+    def test_json_round_trip(self):
+        config = build_config(
+            SPECS["e5"], seed=9, scale="quick", jobs=4,
+            overrides={"measure": 100},
+        )
+        data = json.loads(json.dumps(config.to_json_dict()))
+        back = ExperimentConfig.from_json_dict(data)
+        assert back.experiment == "e5"
+        assert back.seed == 9
+        assert back.scale == "quick"
+        assert back.jobs == 4
+        assert back.params["measure"] == 100
+
+
+class TestRunResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_config("e1", seed=5, overrides={"max_order": 5})
+
+    def test_fields_populated(self, result):
+        assert result.experiment == "e1"
+        assert result.config.seed == 5
+        assert result.metrics["all_counts_ok"] is True
+        assert len(result.points) == 5
+        assert len(result.tables) == 1
+        assert result.wall_time_s > 0
+        assert result.started_at
+        assert result.environment.get("python")
+
+    def test_json_round_trip(self, result):
+        data = json.loads(json.dumps(result.to_json_dict()))
+        assert data["schema"] == "repro.harness/run-result/v1"
+        back = RunResult.from_json_dict(data)
+        assert back.to_json_dict() == data
+
+    def test_stable_form_drops_volatile_fields(self, result):
+        stable = result.stable_json_dict()
+        for key in ("started_at", "wall_time_s", "environment", "engine"):
+            assert key not in stable
+        assert "jobs" not in stable["config"]
+
+    def test_stable_form_drops_per_point_engine_records(self):
+        # sim_wall_time_s inside a point's engine stats is wall-clock
+        # volatile; the stable form must not depend on it.
+        result = run_config(
+            "e3",
+            overrides={
+                "schedulers": ("srr",), "duration": 0.5,
+                "n_background": 10,
+            },
+        )
+        assert any("engine" in p for p in result.points)
+        stable = result.stable_json_dict()
+        assert all("engine" not in p for p in stable["points"])
+
+    def test_engine_totals_from_network_experiments(self):
+        result = run_config(
+            "e3",
+            overrides={
+                "schedulers": ("srr",), "duration": 0.5,
+                "n_background": 10,
+            },
+        )
+        assert result.engine["events_processed"] > 0
+        assert result.engine["max_heap_depth"] > 0
+
+
+class TestArtifacts:
+    def test_write_and_load(self, tmp_path):
+        result = run_config("e1", seed=11, overrides={"max_order": 4})
+        path = write_artifact(result, results_dir=tmp_path)
+        assert path.parent == tmp_path / "e1"
+        assert path.name.endswith("-11.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.harness/run-result/v1"
+        summary = payload["summary"]
+        assert summary["benchmarks"][0]["name"] == "e1"
+        assert summary["benchmarks"][0]["stats"]["rounds"] == 1
+        back = load_artifact(path)
+        assert back.stable_json_dict() == result.stable_json_dict()
+
+    def test_artifact_path_shape(self):
+        result = run_config("e1", overrides={"max_order": 2})
+        path = artifact_path(result, results_dir="results")
+        assert path.parts[0] == "results"
+        assert path.parts[1] == "e1"

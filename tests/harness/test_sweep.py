@@ -1,0 +1,105 @@
+"""Sweep determinism: child seeds, ordering, parallel == serial."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.harness import child_seed, spawn_seeds, sweep
+
+
+def _square(x):
+    return x * x
+
+
+def _seeded_draw(seed):
+    return random.Random(seed).random()
+
+
+class TestChildSeed:
+    def test_deterministic(self):
+        assert child_seed(1, 0) == child_seed(1, 0)
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_distinct_across_points_and_roots(self):
+        seeds = spawn_seeds(1, 100) + spawn_seeds(2, 100)
+        assert len(set(seeds)) == 200
+
+    def test_independent_of_call_order(self):
+        forward = [child_seed(3, i) for i in range(10)]
+        backward = [child_seed(3, i) for i in reversed(range(10))]
+        assert forward == list(reversed(backward))
+
+    def test_nonnegative_63_bit(self):
+        for i in range(50):
+            s = child_seed(12345, i)
+            assert 0 <= s < (1 << 63)
+
+
+class TestSweep:
+    def test_serial_runs_in_task_order(self):
+        assert sweep(_square, [(i,) for i in range(6)]) == [
+            0, 1, 4, 9, 16, 25
+        ]
+
+    def test_empty(self):
+        assert sweep(_square, []) == []
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep(_square, [(1,)], jobs=-2)
+
+    def test_parallel_equals_serial(self):
+        tasks = [(i,) for i in range(20)]
+        assert sweep(_square, tasks, jobs=4) == sweep(_square, tasks, jobs=1)
+
+    def test_parallel_preserves_order_not_completion(self):
+        # Squares of a descending range: any completion-order keying
+        # would likely reorder these.
+        tasks = [(i,) for i in range(30, 0, -1)]
+        assert sweep(_square, tasks, jobs=3) == [i * i for i in range(30, 0, -1)]
+
+    def test_parallel_rng_matches_serial(self):
+        tasks = [(child_seed(9, i),) for i in range(8)]
+        serial = sweep(_seeded_draw, tasks, jobs=1)
+        parallel = sweep(_seeded_draw, tasks, jobs=2)
+        assert serial == parallel
+
+
+class TestExperimentParallelism:
+    """End to end: a harness experiment is --jobs invariant."""
+
+    def test_e1_stable_json_identical_across_jobs(self):
+        from repro.bench.runner import run_config
+
+        serial = run_config("e1", seed=3, overrides={"max_order": 6})
+        parallel = run_config(
+            "e1", seed=3, jobs=2, overrides={"max_order": 6}
+        )
+        assert serial.stable_json_dict() == parallel.stable_json_dict()
+
+    def test_e5_stable_json_identical_across_jobs(self):
+        from repro.bench.runner import run_config
+
+        overrides = {
+            "schedulers": ("srr", "wfq"),
+            "n_values": (8, 16),
+            "measure": 200,
+        }
+        serial = run_config("e5", seed=7, overrides=overrides)
+        parallel = run_config("e5", seed=7, jobs=2, overrides=overrides)
+        assert serial.stable_json_dict() == parallel.stable_json_dict()
+
+    def test_e9_timing_fields_excluded_from_stable_form(self):
+        # E9 measures wall-clock time as its data; the declared timing
+        # fields are volatile, everything else must still be identical.
+        from repro.bench.runner import run_config
+
+        serial = run_config("e9", seed=7, overrides={"lookups": 500})
+        parallel = run_config(
+            "e9", seed=7, jobs=2, overrides={"lookups": 500}
+        )
+        assert serial.timing_fields == ["ns", "us", "us_raw"]
+        stable = serial.stable_json_dict()
+        assert all("ns" not in p for p in stable["points"])
+        assert stable == parallel.stable_json_dict()

@@ -118,3 +118,109 @@ class TestRunControl:
         sim.schedule(0.0, recurse)
         with pytest.raises(SimulationError):
             sim.run()
+
+
+class TestObservability:
+    def test_cancelled_events_are_reaped_not_fired(self):
+        sim = Simulator()
+        out = []
+        events = [sim.schedule(float(i), out.append, i) for i in range(6)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run()
+        assert out == [1, 3, 5]
+        assert sim.cancelled_reaped == 3
+        assert sim.events_processed == 3
+        assert sim.pending_events == 0
+
+    def test_cancelled_reaped_accumulates_across_runs(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.run(until=2.0)
+        sim.schedule(3.0, lambda: None).cancel()
+        sim.run()
+        assert sim.cancelled_reaped == 2
+
+    def test_max_heap_depth_high_water_mark(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i), lambda: None)
+        assert sim.max_heap_depth == 7
+        sim.run()
+        # Draining does not lower the high-water mark.
+        assert sim.max_heap_depth == 7
+
+    def test_wall_time_accumulates(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        first = sim.wall_time_s
+        assert first > 0.0
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.wall_time_s > first
+
+    def test_stats_dict_shape(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.run()
+        stats = sim.stats()
+        assert stats == {
+            "events_processed": 1,
+            "cancelled_reaped": 1,
+            "max_heap_depth": 2,
+            "sim_wall_time_s": sim.wall_time_s,
+            "pending_events": 0,
+        }
+
+    def test_callback_hook_times_each_event(self):
+        sim = Simulator()
+        seen = []
+        sim.callback_hook = lambda event, dt: seen.append((event.time, dt))
+        sim.schedule(0.5, lambda: None)
+        sim.schedule(1.5, lambda: None)
+        sim.run()
+        assert [t for t, _ in seen] == [0.5, 1.5]
+        assert all(dt >= 0.0 for _, dt in seen)
+
+    def test_callback_hook_skips_cancelled_events(self):
+        sim = Simulator()
+        seen = []
+        sim.callback_hook = lambda event, dt: seen.append(event.time)
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert seen == [2.0]
+
+
+class TestRunUntilEdgeCases:
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(2.0, out.append, "edge")
+        n = sim.run(until=2.0)
+        assert n == 1
+        assert out == ["edge"]
+        assert sim.now == 2.0
+
+    def test_clock_lands_on_until_after_edge_event(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(2.5, lambda: None)
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_cancelled_event_beyond_until_stays_queued(self):
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda: None)
+        event.cancel()
+        sim.run(until=1.0)
+        # Not reaped: run() never looked past `until`.
+        assert sim.cancelled_reaped == 0
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.cancelled_reaped == 1
+        assert sim.now == 1.0
