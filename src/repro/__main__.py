@@ -22,8 +22,13 @@ def main() -> int:
     for name in sorted(EXPERIMENTS, key=lambda n: int(n[1:])):
         print(f"  {name:4s} {_DESCRIPTIONS[name]}")
     print()
+    print("observability: python -m repro.obs report results/<exp>/*.json")
+    print("(metrics in artifacts; --trace PATH on repro.bench for "
+          "packet-lifecycle JSONL)")
+    print()
     print("examples: see examples/*.py; docs: README.md, DESIGN.md,")
-    print("EXPERIMENTS.md, docs/algorithms.md, docs/simulator.md, docs/api.md")
+    print("EXPERIMENTS.md, docs/algorithms.md, docs/simulator.md,")
+    print("docs/observability.md, docs/api.md")
     return 0
 
 

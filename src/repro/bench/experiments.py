@@ -491,16 +491,29 @@ def _time_per_packet(name: str, n_flows: int, **kwargs) -> float:
 
 
 def _e5_point(name: str, n: int, measure: int, time_it: bool) -> Dict:
+    from ..obs.metrics import MetricsRegistry
+
     kwargs = _e5_kwargs(name, n)
-    profile = ops_profile(name, n, measure=measure, **kwargs)
+    # A per-point registry: the dequeue_ops / wss_terms histograms travel
+    # back with the record and merge deterministically in the parent (the
+    # point may run in a pool worker).
+    registry = MetricsRegistry()
+    profile = ops_profile(name, n, measure=measure, registry=registry,
+                          **kwargs)
     record = {
         "scheduler": name,
         "n": n,
         "mean_ops": round(profile["mean_ops"], 2),
+        "p50_ops": int(profile["p50_ops"]),
+        "p99_ops": int(profile["p99_ops"]),
         "worst_ops": int(profile["worst_ops"]),
         "total_ops": int(profile["total_ops"]),
         "served": int(profile["served"]),
+        "metrics_snapshot": registry.snapshot(),
     }
+    if "worst_scan_terms" in profile:
+        record["p99_scan_terms"] = int(profile["p99_scan_terms"])
+        record["worst_scan_terms"] = int(profile["worst_scan_terms"])
     if time_it:
         record["us_per_packet"] = round(
             _time_per_packet(name, n, **kwargs) * 1e6, 3
@@ -509,19 +522,28 @@ def _e5_point(name: str, n: int, measure: int, time_it: bool) -> Dict:
 
 
 def _e5_body(p: E5Params, ctx: RunContext) -> Dict:
-    """Elementary operations (and optionally wall time) per packet vs N (E5)."""
+    """Per-dequeue scheduling work distribution vs N (E5, the O(1) claim).
+
+    Every decision is profiled individually, so the table reports the
+    p50/p99/max work per dequeue — flat for SRR across N, growing for
+    the timestamp schedulers — not just totals. The histograms land in
+    the run's ``obs.metrics`` block (``python -m repro.obs report``).
+    """
     tasks = [
         (name, n, p.measure, p.time_it)
         for name in p.schedulers for n in p.n_values
     ]
     records = ctx.sweep(_e5_point, tasks)
+    for record in records:
+        ctx.record_metrics(record.pop("metrics_snapshot"))
     ctx.add_points(records)
     ctx.record_engine({
         "ops": sum(r["total_ops"] for r in records),
         "packets_served": sum(r["served"] for r in records),
     })
-    headers = ["scheduler", "N", "ops/packet", "worst ops"]
-    columns = ["scheduler", "n", "mean_ops", "worst_ops"]
+    headers = ["scheduler", "N", "ops/packet", "p50", "p99", "worst ops"]
+    columns = ["scheduler", "n", "mean_ops", "p50_ops", "p99_ops",
+               "worst_ops"]
     if p.time_it:
         headers.append("us/packet")
         columns.append("us_per_packet")
@@ -529,8 +551,8 @@ def _e5_body(p: E5Params, ctx: RunContext) -> Dict:
         headers,
         records=records,
         columns=columns,
-        title="E5: per-packet scheduling cost vs number of flows "
-              "(flat = O(1); growing = O(log N) or worse)",
+        title="E5: per-dequeue scheduling cost vs number of flows "
+              "(flat p99 = O(1); growing = O(log N) or worse)",
     )
     results: Dict[str, Dict[int, float]] = {name: {} for name in p.schedulers}
     for record in records:

@@ -153,33 +153,58 @@ def main(argv: List[str] = None) -> int:
         "--quiet", action="store_true",
         help="suppress the result tables",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record packet-lifecycle events (bounded ring buffer) and "
+             "write them as JSONL to PATH; forces --jobs 1 so events "
+             "from pool workers are not lost",
+    )
     args = parser.parse_args(argv)
 
     from ..harness import write_artifact
+    from ..obs.trace import Tracer, set_tracer
 
     scale = "quick" if args.quick else args.scale
     overrides = _parse_overrides(args.overrides)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     # 'all' in natural order e1..e12, not lexicographic.
     names.sort(key=lambda n: int(n[1:]))
+    jobs = args.jobs
+    tracer = None
+    previous_tracer = None
+    if args.trace is not None:
+        if jobs != 1:
+            print("--trace forces --jobs 1 (pool workers cannot share "
+                  "the ring buffer)", file=sys.stderr)
+            jobs = 1
+        tracer = Tracer()
+        previous_tracer = set_tracer(tracer)
     payloads = []
-    for name in names:
-        result = run_config(
-            name,
-            seed=args.seed,
-            scale=scale,
-            jobs=args.jobs,
-            quiet=args.quiet or args.json,
-            overrides=overrides if args.experiment != "all" else {
-                k: v for k, v in overrides.items()
-                if k in SPECS[name].param_names()
-            },
-        )
-        if not args.no_artifact:
-            path = write_artifact(result, results_dir=args.results_dir)
-            print(f"wrote {path}", file=sys.stderr)
-        if args.json:
-            payloads.append(result.to_json_dict())
+    try:
+        for name in names:
+            result = run_config(
+                name,
+                seed=args.seed,
+                scale=scale,
+                jobs=jobs,
+                quiet=args.quiet or args.json,
+                overrides=overrides if args.experiment != "all" else {
+                    k: v for k, v in overrides.items()
+                    if k in SPECS[name].param_names()
+                },
+            )
+            if not args.no_artifact:
+                path = write_artifact(result, results_dir=args.results_dir)
+                print(f"wrote {path}", file=sys.stderr)
+            if args.json:
+                payloads.append(result.to_json_dict())
+    finally:
+        if tracer is not None:
+            set_tracer(previous_tracer)
+            written = tracer.write_jsonl(args.trace)
+            print(f"wrote {written} trace events to {args.trace} "
+                  f"({tracer.dropped} dropped by the ring buffer)",
+                  file=sys.stderr)
     if args.json:
         print(json.dumps(payloads[0] if len(payloads) == 1 else payloads,
                          indent=2))

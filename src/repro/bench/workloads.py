@@ -12,6 +12,8 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from ..core.interfaces import PacketScheduler
 from ..core.opcount import OpCounter
 from ..core.packet import Packet
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
+from ..obs.profile import DequeueProfiler
 from ..schedulers.registry import create_scheduler
 
 __all__ = [
@@ -80,14 +82,20 @@ def ops_profile(
     weights: Optional[Dict[Hashable, float]] = None,
     packets_per_flow: int = 4,
     measure: int = 2000,
+    registry: MetricsRegistry = NULL_REGISTRY,
     **scheduler_kwargs,
 ) -> Dict[str, float]:
     """Elementary-operation profile of ``dequeue`` at size N.
 
     The E5 measurement: flows are saturated, the counter is reset, and
-    ``measure`` packets are pulled. Returns ``mean_ops``/``worst_ops``
-    per dequeue plus the raw ``total_ops``/``served`` counters so the
-    run harness can surface operation totals uniformly.
+    ``measure`` packets are pulled — each decision profiled individually
+    (:class:`~repro.obs.profile.DequeueProfiler`). Returns the per-dequeue
+    distribution (``mean_ops``/``p50_ops``/``p90_ops``/``p99_ops``/
+    ``worst_ops``, plus ``p99_scan_terms``/``worst_scan_terms`` for
+    SRR-family schedulers) and the raw ``total_ops``/``served`` counters.
+    Pass a real ``registry`` to also capture the distributions as
+    mergeable ``dequeue_ops``/``wss_terms`` histograms labeled
+    ``{scheduler, n}``.
     """
     ops = OpCounter()
     flow_weights = weights or uniform_weights(n_flows)
@@ -99,23 +107,11 @@ def ops_profile(
         **scheduler_kwargs,
     )
     ops.reset()
-    served = 0
-    worst = 0
-    budget = min(measure, n_flows * packets_per_flow)
-    for _ in range(budget):
-        before = ops.count
-        if sched.dequeue() is None:
-            break
-        served += 1
-        worst = max(worst, ops.count - before)
-    total = ops.count
-    mean = total / served if served else 0.0
-    return {
-        "mean_ops": mean,
-        "worst_ops": worst if served else 0,
-        "total_ops": total,
-        "served": served,
-    }
+    profiler = DequeueProfiler(
+        sched, ops, registry=registry, scheduler=name, n=n_flows
+    )
+    profiler.pull(min(measure, n_flows * packets_per_flow))
+    return profiler.summary()
 
 
 def ops_per_packet(

@@ -143,6 +143,11 @@ class SRRScheduler(FlowTableScheduler):
         self._cursor: Optional[ColumnNode] = None
         # Deficit mode: flow that still holds enough credit to keep sending.
         self._stuck: Optional[FlowState] = None
+        #: Cumulative WSS terms examined (including terms whose column was
+        #: empty). Per-dequeue deltas of this counter are the scan-length
+        #: distribution behind the O(1)-evidence profiling; the paper's
+        #: bound is that at most two terms are examined per packet.
+        self.terms_scanned = 0
 
     # -- FlowTableScheduler hooks -----------------------------------------
 
@@ -274,6 +279,7 @@ class SRRScheduler(FlowTableScheduler):
             value = table.term(position)
         column = matrix.columns[order - value]
         self._cursor = column.first()
+        self.terms_scanned += 1
         self._ops.bump()
         return True
 

@@ -7,8 +7,10 @@ result artifacts. The experiments themselves stay in the bench layer as
 thin declarative bodies; everything about *running* them — seeding,
 timing, fan-out, table emission, JSON artifacts — lives here.
 
-Layering: ``repro.harness`` depends only on the standard library and
-:mod:`repro.analysis.tables` (for table rendering); it never imports the
+Layering: ``repro.harness`` depends only on the standard library,
+:mod:`repro.analysis.tables` (for table rendering), and
+:mod:`repro.obs.metrics` (the per-run metrics registry merged into
+``RunResult.obs``) — both themselves stdlib-only; it never imports the
 bench layer, so scenario/workload code cannot leak into the runner
 machinery.
 """

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.tables import records_table
 from ..core.errors import ConfigurationError
+from ..obs.metrics import MetricsRegistry
 from .sweep import child_seed, sweep
 
 __all__ = [
@@ -186,6 +187,11 @@ class RunContext:
         self.points: List[Dict[str, Any]] = []
         self.tables: List[str] = []
         self.engine: Dict[str, float] = {}
+        #: The run's metrics registry. Sweep points run in child
+        #: processes, so bodies snapshot a per-point registry there and
+        #: merge the snapshots here (:meth:`record_metrics`) in task
+        #: order; the merged snapshot lands in ``RunResult.obs``.
+        self.metrics = MetricsRegistry()
 
     # -- determinism -------------------------------------------------------
 
@@ -212,6 +218,16 @@ class RunContext:
     def add_points(self, records: Sequence[Mapping[str, Any]]) -> None:
         for record in records:
             self.add_point(record)
+
+    def record_metrics(self, snapshot: Mapping[str, Mapping[str, Any]]) -> None:
+        """Merge a child registry snapshot into this run's registry.
+
+        Counters/histograms add, gauges take the max, so the merged
+        result is independent of ``--jobs`` as long as bodies merge in
+        task (submission) order — which :meth:`sweep` already guarantees
+        for its returned records.
+        """
+        self.metrics.merge_snapshot(snapshot)
 
     def record_engine(self, stats: Mapping[str, float]) -> None:
         """Accumulate simulator/op-count observability counters.

@@ -71,6 +71,11 @@ class RunResult:
     points: List[Dict[str, Any]] = field(default_factory=list)
     tables: List[str] = field(default_factory=list)
     engine: Dict[str, float] = field(default_factory=dict)
+    #: Observability block: ``{"metrics": <registry snapshot>}`` with
+    #: sorted canonical keys. Deliberately NOT volatile — the registry
+    #: must be bit-identical across ``--jobs`` values, and the
+    #: parallel-vs-serial identity tests enforce that here.
+    obs: Dict[str, Any] = field(default_factory=dict)
     started_at: str = ""
     wall_time_s: float = 0.0
     environment: Dict[str, Any] = field(default_factory=dict)
@@ -91,6 +96,7 @@ class RunResult:
             "points": _jsonable(self.points),
             "tables": list(self.tables),
             "engine": _jsonable(self.engine),
+            "obs": _jsonable(self.obs),
             "started_at": self.started_at,
             "wall_time_s": self.wall_time_s,
             "environment": _jsonable(self.environment),
@@ -106,6 +112,7 @@ class RunResult:
             points=[dict(p) for p in data.get("points", [])],
             tables=list(data.get("tables", [])),
             engine=dict(data.get("engine", {})),
+            obs=dict(data.get("obs", {})),
             started_at=data.get("started_at", ""),
             wall_time_s=data.get("wall_time_s", 0.0),
             environment=dict(data.get("environment", {})),

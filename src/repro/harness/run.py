@@ -29,6 +29,7 @@ def run_config_for_spec(
         points=ctx.points,
         tables=ctx.tables,
         engine=dict(ctx.engine),
+        obs={"metrics": ctx.metrics.snapshot()},
         started_at=started.isoformat(),
         wall_time_s=wall,
         environment=environment_metadata(),

@@ -15,7 +15,9 @@ cancelled events reaped, maximum heap depth, cumulative wall time inside
 ``run``) exposed together by :meth:`Simulator.stats`, and supports an
 optional per-callback timing hook (:attr:`Simulator.callback_hook`) for
 profiling which model components dominate a run. The hot loop pays one
-``is not None`` branch per event when the hook is unset.
+``is not None`` branch per event when the hook is unset; the attribute
+itself is read once per ``run()`` call, so installing a hook mid-run
+(from inside a callback) takes effect on the next ``run()``.
 """
 
 from __future__ import annotations
@@ -152,6 +154,10 @@ class Simulator:
         self._running = True
         processed = 0
         queue = self._queue
+        # The hook is read once per run() call, not per event — this is
+        # the documented "one branch per event" cost. Installing a hook
+        # from inside a callback takes effect on the next run().
+        hook = self.callback_hook
         wall_start = _time.perf_counter()
         try:
             while queue:
@@ -163,7 +169,6 @@ class Simulator:
                     self._cancelled_reaped += 1
                     continue
                 self._now = event.time
-                hook = self.callback_hook
                 if hook is None:
                     event.fn(*event.args)
                 else:

@@ -4,7 +4,10 @@ The fairness indices of :mod:`repro.analysis.fairness` are defined over a
 *service trace* — the timestamped sequence of (flow, bytes) transmissions
 at one output port. :class:`ServiceTrace` hooks a port's transmit-complete
 callback and accumulates exactly that. The sampling monitors poll state on
-a fixed period using the simulator's own event queue.
+a fixed period using the simulator's own event queue; because each tick
+reschedules the next, they accept a ``horizon`` (absolute stop time) and a
+``stop()`` method so an open-ended ``Simulator.run()`` still terminates
+once sources go quiet.
 """
 
 from __future__ import annotations
@@ -25,10 +28,16 @@ class ServiceTrace:
     def __init__(self, port: OutputPort) -> None:
         self.port = port
         self.entries: List[Tuple[float, Hashable, int]] = []
+        # Completion timestamps, maintained incrementally alongside
+        # ``entries`` (transmit hooks fire in nondecreasing simulation
+        # time, so the list is always sorted). Window queries bisect this
+        # instead of rebuilding it per call.
+        self._times: List[float] = []
         port.on_transmit.append(self._record)
 
     def _record(self, now: float, packet: Packet) -> None:
         self.entries.append((now, packet.flow_id, packet.size))
+        self._times.append(now)
 
     def flows(self) -> List[Hashable]:
         """Distinct flows observed, in first-seen order."""
@@ -50,10 +59,13 @@ class ServiceTrace:
     def service_in_window(
         self, flow_id: Hashable, t0: float, t1: float
     ) -> int:
-        """Bytes served to ``flow_id`` with completion time in ``[t0, t1)``."""
-        times = [t for t, _f, _s in self.entries]
-        lo = bisect_left(times, t0)
-        hi = bisect_right(times, t1)
+        """Bytes served to ``flow_id`` with completion time in ``[t0, t1)``.
+
+        O(log n + k) for k entries in the window (the timestamp index is
+        maintained on record, not rebuilt per query).
+        """
+        lo = bisect_left(self._times, t0)
+        hi = bisect_right(self._times, t1)
         return sum(
             size
             for t, fid, size in self.entries[lo:hi]
@@ -126,21 +138,78 @@ class HopTrace:
         return [max(row[k] for row in rows) for k in range(len(self.ports))]
 
 
-class BacklogMonitor:
-    """Samples a port's queued-packet count every ``interval`` seconds."""
+class _PeriodicSampler:
+    """Self-rescheduling sampler with a stop switch and an optional horizon.
+
+    Without either, a sampler keeps one future event in the simulator's
+    queue forever, so ``Simulator.run()`` *without* ``until=`` would spin
+    on sampling ticks long after the traffic sources went quiet. Passing
+    ``horizon`` bounds the sampling to ``[start, horizon]``; calling
+    :meth:`stop` cancels the pending tick immediately. Either way the
+    event queue drains and an open-ended run terminates.
+    """
 
     def __init__(
-        self, sim: Simulator, port: OutputPort, interval: float = 0.01
+        self,
+        sim: Simulator,
+        interval: float,
+        start: float,
+        horizon: Optional[float] = None,
     ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
         self.sim = sim
-        self.port = port
         self.interval = interval
+        self.horizon = horizon
+        self._stopped = False
+        self._pending = sim.schedule(start, self._tick)
+
+    def _tick(self) -> None:
+        self._pending = None
+        if self._stopped:
+            return
+        self._sample()
+        nxt = self.sim.now + self.interval
+        if self.horizon is not None and nxt > self.horizon:
+            return
+        self._pending = self.sim.schedule(self.interval, self._tick)
+
+    def _sample(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Stop sampling: cancel the pending tick (idempotent)."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class BacklogMonitor(_PeriodicSampler):
+    """Samples a port's queued-packet count every ``interval`` seconds.
+
+    ``horizon`` (absolute simulation time) bounds the sampling so runs
+    without ``until=`` still terminate; ``stop()`` halts it early.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: OutputPort,
+        interval: float = 0.01,
+        *,
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.port = port
         self.samples: List[Tuple[float, int]] = []
-        sim.schedule(0.0, self._sample)
+        super().__init__(sim, interval, start=0.0, horizon=horizon)
 
     def _sample(self) -> None:
         self.samples.append((self.sim.now, self.port.backlog))
-        self.sim.schedule(self.interval, self._sample)
 
     @property
     def max_backlog(self) -> int:
@@ -153,17 +222,26 @@ class BacklogMonitor:
         return sum(b for _t, b in self.samples) / len(self.samples)
 
 
-class ThroughputMonitor:
-    """Per-flow delivered-bytes-per-interval series from a sink registry."""
+class ThroughputMonitor(_PeriodicSampler):
+    """Per-flow delivered-bytes-per-interval series from a sink registry.
 
-    def __init__(self, sim: Simulator, sink_registry, interval: float = 0.1) -> None:
-        self.sim = sim
+    ``horizon``/``stop()`` bound the self-rescheduling exactly as for
+    :class:`BacklogMonitor`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink_registry,
+        interval: float = 0.1,
+        *,
+        horizon: Optional[float] = None,
+    ) -> None:
         self.sinks = sink_registry
-        self.interval = interval
         self._last: Dict[Hashable, int] = {}
         #: flow_id -> list of (window_end_time, bits_per_second).
         self.series: Dict[Hashable, List[Tuple[float, float]]] = {}
-        sim.schedule(interval, self._sample)
+        super().__init__(sim, interval, start=interval, horizon=horizon)
 
     def _sample(self) -> None:
         now = self.sim.now
@@ -174,7 +252,6 @@ class ThroughputMonitor:
             self.series.setdefault(fid, []).append(
                 (now, delta * 8.0 / self.interval)
             )
-        self.sim.schedule(self.interval, self._sample)
 
     def rates(self, flow_id: Hashable) -> List[float]:
         """The bps series for ``flow_id`` (empty if never seen)."""

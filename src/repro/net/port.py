@@ -14,6 +14,14 @@ The port implements the store-and-forward transmit loop:
 
 This is the point where the paper's O(1)-per-packet claim matters: the
 ``dequeue`` call sits on the critical path of every transmitted packet.
+
+Observability: the port is the emit point for packet-lifecycle tracing
+(:mod:`repro.obs.trace`) — ``enqueue``/``drop`` on arrival,
+``sched_decision``/``dequeue`` around the scheduler call, ``transmit``
+on completion — and feeds per-port metrics (queue-wait histogram, bytes
+and drop counters) into the active registry (:mod:`repro.obs.metrics`).
+Both default to off: the tracer costs one ``is not None`` branch per
+packet, the metrics are no-op singletons from the null registry.
 """
 
 from __future__ import annotations
@@ -22,6 +30,9 @@ from typing import Callable, List, Optional
 
 from ..core.interfaces import PacketScheduler
 from ..core.packet import Packet
+from ..obs.metrics import DELAY_BUCKETS_S, MetricsRegistry
+from ..obs.metrics import get_registry as _active_registry
+from ..obs.trace import Tracer, get_tracer
 from .engine import Simulator
 from .link import Link
 
@@ -41,6 +52,8 @@ class OutputPort:
         peer: "object",
         name: str = "",
         buffer_packets: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.link = link
@@ -56,6 +69,18 @@ class OutputPort:
         self.bytes_out = 0
         self.drops = 0
         self.on_transmit: List[TransmitHook] = []
+        #: Lifecycle tracer; defaults to the process-wide active one
+        #: (usually None — tracing off).
+        self.tracer = tracer if tracer is not None else get_tracer()
+        # Per-port metrics, resolved once at construction: with the null
+        # registry these are shared no-op singletons, so the datapath
+        # never branches on "metrics enabled?".
+        registry = registry if registry is not None else _active_registry()
+        self._wait_hist = registry.histogram(
+            "port_queue_wait_s", DELAY_BUCKETS_S, port=name or "?"
+        )
+        self._tx_bytes = registry.counter("port_tx_bytes", port=name or "?")
+        self._drop_count = registry.counter("port_drops", port=name or "?")
 
     def enqueue(self, packet: Packet) -> bool:
         """Accept ``packet`` for transmission; False when dropped."""
@@ -64,23 +89,50 @@ class OutputPort:
         if (
             self.buffer_packets is not None
             and self.scheduler.backlog >= self.buffer_packets
-        ):
+        ) or not self.scheduler.enqueue(packet):
             self.drops += 1
+            self._drop_count.inc()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "drop", self.sim.now, port=self.name,
+                    flow=packet.flow_id, uid=packet.uid, size=packet.size,
+                )
             return False
-        if not self.scheduler.enqueue(packet):
-            self.drops += 1
-            return False
+        if self.tracer is not None:
+            self.tracer.emit(
+                "enqueue", self.sim.now, port=self.name,
+                flow=packet.flow_id, uid=packet.uid, size=packet.size,
+                backlog=self.scheduler.backlog,
+            )
         if not self.busy:
             self._transmit_next()
         return True
 
     def _transmit_next(self) -> None:
-        packet = self.scheduler.dequeue()
+        tracer = self.tracer
+        if tracer is None:
+            packet = self.scheduler.dequeue()
+        else:
+            backlog = self.scheduler.backlog
+            packet = self.scheduler.dequeue()
+            tracer.emit(
+                "sched_decision", self.sim.now, port=self.name,
+                scheduler=self.scheduler.name, backlog=backlog,
+                flow=None if packet is None else packet.flow_id,
+            )
         if packet is None:
             self.busy = False
             return
         self.busy = True
-        packet.dequeued_at = self.sim.now
+        now = self.sim.now
+        packet.dequeued_at = now
+        self._wait_hist.observe(now - packet.enqueued_at)
+        if tracer is not None:
+            tracer.emit(
+                "dequeue", now, port=self.name, flow=packet.flow_id,
+                uid=packet.uid, size=packet.size,
+                waited_s=now - packet.enqueued_at,
+            )
         self.sim.schedule(
             self.link.serialization_time(packet.size),
             self._transmission_complete,
@@ -91,6 +143,12 @@ class OutputPort:
         now = self.sim.now
         self.packets_out += 1
         self.bytes_out += packet.size
+        self._tx_bytes.inc(packet.size)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "transmit", now, port=self.name, flow=packet.flow_id,
+                uid=packet.uid, size=packet.size,
+            )
         for hook in self.on_transmit:
             hook(now, packet)
         # Propagation: the packet arrives at the peer delay seconds after

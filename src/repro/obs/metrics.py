@@ -1,0 +1,420 @@
+"""Deterministic metrics: counters, gauges and fixed-bucket histograms.
+
+The observability layer every experiment reads its numbers from. Three
+metric kinds — :class:`Counter`, :class:`Gauge`, :class:`Histogram` —
+live in a :class:`MetricsRegistry`, keyed by a family name plus a frozen
+label set (``registry.histogram("dequeue_ops", scheduler="srr", n=64)``).
+
+Design constraints (they shape everything here):
+
+* **Deterministic.** Snapshots contain only counts and observed values,
+  never wall-clock time; keys are emitted in sorted order; merging two
+  snapshots is commutative for counters/histograms. A ``--jobs 8`` sweep
+  therefore serialises to the exact bytes of a serial one.
+* **Cheap, and free when disabled.** ``Histogram.observe`` is a bisect
+  over a small fixed bucket table plus integer adds. When observability
+  is off, the module-level :data:`NULL_REGISTRY` hands out no-op metric
+  singletons, so instrumented code stays branch-free (the
+  :class:`~repro.core.opcount.NullOpCounter` pattern).
+* **Bounded.** Histograms use *fixed* log-spaced buckets chosen at
+  creation (:func:`log2_buckets` for op counts, :data:`DELAY_BUCKETS_S`
+  for delays), so memory is O(buckets) regardless of sample count.
+
+Quantiles from a bucketed histogram are upper bounds (the bucket's right
+edge); the true maximum is tracked exactly. Experiment E5 additionally
+computes exact percentiles from the raw per-dequeue deltas it holds
+anyway — the histogram is what travels in artifacts and merges across
+processes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DELAY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "OPS_BUCKETS",
+    "get_registry",
+    "log2_buckets",
+    "log10_buckets",
+    "metric_key",
+    "set_registry",
+]
+
+SNAPSHOT_SCHEMA = "repro.obs/metrics/v1"
+
+
+def log2_buckets(max_exponent: int = 20) -> Tuple[float, ...]:
+    """Power-of-two bucket edges ``1, 2, 4, ..., 2**max_exponent``."""
+    return tuple(float(1 << e) for e in range(max_exponent + 1))
+
+
+def log10_buckets(
+    lo_exponent: int, hi_exponent: int, per_decade: int = 3
+) -> Tuple[float, ...]:
+    """Log-spaced edges covering ``10**lo .. 10**hi``, ``per_decade`` each.
+
+    Edges are rounded to 12 significant digits so the table is identical
+    across platforms (no accumulated ``**``-chain drift).
+    """
+    edges = []
+    steps = (hi_exponent - lo_exponent) * per_decade
+    for i in range(steps + 1):
+        exponent = lo_exponent + i / per_decade
+        edges.append(float(f"{10.0 ** exponent:.12g}"))
+    return tuple(edges)
+
+
+#: Default op-count buckets: 1..2^20 elementary operations per decision.
+OPS_BUCKETS = log2_buckets(20)
+
+#: Default delay buckets: 1 µs .. 100 s, three per decade.
+DELAY_BUCKETS_S = log10_buckets(-6, 2, per_decade=3)
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, drops)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+    def merge(self, data: Mapping[str, Any]) -> None:
+        self.value += data["value"]
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time level; merging keeps the maximum (high-water)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+    def merge(self, data: Mapping[str, Any]) -> None:
+        # Gauges from sibling processes are high-water marks; max is the
+        # only order-independent (hence deterministic) combination.
+        self.value = max(self.value, data["value"])
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact count/sum/min/max.
+
+    ``bounds`` are the inclusive right edges of the first
+    ``len(bounds)`` buckets; one overflow bucket catches everything
+    larger. A value ``v`` lands in the first bucket whose edge is
+    ``>= v`` — so with :data:`OPS_BUCKETS`, bucket ``i`` holds the ops
+    counts in ``(2**(i-1), 2**i]``.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total", "minimum", "maximum")
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float] = OPS_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1).
+
+        Returns the right edge of the bucket holding the q-th sample,
+        clamped to the exact observed maximum (so ``quantile(1.0) ==
+        maximum`` always, even from the overflow bucket).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            cumulative += n
+            if cumulative >= rank:
+                if i < len(self.bounds):
+                    return min(self.bounds[i], self.maximum)
+                break
+        return self.maximum  # overflow bucket
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def merge(self, data: Mapping[str, Any]) -> None:
+        if tuple(data["bounds"]) != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        for i, n in enumerate(data["buckets"]):
+            self.buckets[i] += n
+        self.count += data["count"]
+        self.total += data["sum"]
+        for attr, pick in (("minimum", min), ("maximum", max)):
+            key = "min" if attr == "minimum" else "max"
+            theirs = data.get(key)
+            if theirs is not None:
+                ours = getattr(self, attr)
+                setattr(self, attr, theirs if ours is None else pick(ours, theirs))
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, min={self.minimum}, "
+            f"max={self.maximum})"
+        )
+
+
+_METRIC_TYPES = {m.kind: m for m in (Counter, Gauge, Histogram)}
+
+
+def metric_key(name: str, labels: Mapping[str, Any]) -> str:
+    """The canonical string key of one metric: ``name{k=v,...}``.
+
+    Label names are sorted, values ``str()``-ed, so the key — and with it
+    snapshot ordering and merge identity — is independent of call sites.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Holds every metric of one run, keyed by family name + labels.
+
+    ``counter``/``gauge``/``histogram`` get-or-create, so instrumented
+    code can call them unconditionally. ``snapshot`` serialises the whole
+    registry to a JSON-able dict with sorted keys; ``merge_snapshot``
+    folds another registry's snapshot in (the parallel-sweep merge).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    # -- get-or-create -----------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = OPS_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Histogram(buckets)
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"{key} is a {metric.kind}, not a histogram")
+        return metric
+
+    def _get(self, cls: type, name: str, labels: Mapping[str, Any]):
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls()
+        elif not isinstance(metric, cls):
+            raise TypeError(f"{key} is a {metric.kind}, not a {cls.kind}")
+        return metric
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
+
+    def get(self, key: str):
+        """The metric stored under a canonical key, or ``None``."""
+        return self._metrics.get(key)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        """(key, metric) pairs in sorted key order."""
+        return iter(sorted(self._metrics.items()))
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    # -- serialisation -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The registry as a JSON-able dict, keys sorted (deterministic)."""
+        return {
+            key: self._metrics[key].snapshot()
+            for key in sorted(self._metrics)
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a serialized registry in (counters/histograms add,
+        gauges take the max). Creates metrics that do not exist yet, so
+        merging child-process snapshots into a fresh registry works."""
+        for key in sorted(snapshot):
+            data = snapshot[key]
+            metric = self._metrics.get(key)
+            if metric is None:
+                cls = _METRIC_TYPES[data["type"]]
+                if cls is Histogram:
+                    metric = Histogram(data["bounds"])
+                else:
+                    metric = cls()
+                self._metrics[key] = metric
+            elif metric.kind != data["type"]:
+                raise TypeError(
+                    f"{key}: cannot merge a {data['type']} into a "
+                    f"{metric.kind}"
+                )
+            metric.merge(data)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)})"
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that ignores everything: observability switched off.
+
+    Hands out shared no-op metric singletons so instrumented hot paths
+    pay one method call (an empty body) instead of a branch, and never
+    accumulate state. ``snapshot()`` is empty; ``merge_snapshot`` is a
+    no-op.
+    """
+
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram()
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = OPS_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._HISTOGRAM
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"
+
+
+#: Shared disabled registry; instrumentation defaults to this.
+NULL_REGISTRY = NullRegistry()
+
+#: The process-wide active registry (what instrumented components pick
+#: up when not handed a registry explicitly).
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide active registry (``NULL_REGISTRY`` when off)."""
+    return _active
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` as the active one (``None`` disables);
+    returns the previous registry so callers can restore it."""
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous

@@ -1,0 +1,116 @@
+"""O(1)-evidence profiling: per-dequeue work distributions.
+
+The paper's headline claim is about the *worst case per decision*, so
+totals and means are not evidence — a scheduler can hide O(N) spikes in
+an O(1) average. :class:`DequeueProfiler` records the elementary-op cost
+of **each individual** ``dequeue`` (via the op-counter deltas the
+schedulers already maintain) plus, for SRR-family schedulers, the number
+of WSS terms scanned per decision, and exposes:
+
+* exact percentiles (p50/p90/p99) and the exact max over the measured
+  window — the numbers E5 reports per (scheduler, N) point;
+* the same distributions as fixed-bucket histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry`, which is what travels in
+  ``results/`` artifacts and merges across sweep processes.
+
+A flat p99/max across N is the empirical O(1) signature; growth with
+log N (the timestamp schedulers' heaps) or N shows up immediately.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.opcount import OpCounter
+from .metrics import OPS_BUCKETS, MetricsRegistry, NULL_REGISTRY
+
+__all__ = ["DequeueProfiler", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile of pre-sorted ``sorted_values``."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    return sorted_values[min(len(sorted_values) - 1,
+                             max(0, ceil(q * len(sorted_values)) - 1))]
+
+
+class DequeueProfiler:
+    """Measures the per-decision work of one scheduler under load.
+
+    Args:
+        sched: Any scheduler threading ``op_counter`` through its hot
+            path (every scheduler in this repo does).
+        op_counter: The counter the scheduler was built with.
+        registry: Where the histograms go; the shared
+            :data:`~repro.obs.metrics.NULL_REGISTRY` makes them free.
+        labels: Histogram family labels (conventionally ``scheduler``
+            and ``n``).
+    """
+
+    def __init__(
+        self,
+        sched: Any,
+        op_counter: OpCounter,
+        *,
+        registry: MetricsRegistry = NULL_REGISTRY,
+        **labels: Any,
+    ) -> None:
+        self.sched = sched
+        self.ops = op_counter
+        self.registry = registry
+        self.deltas: List[int] = []
+        self.scan_deltas: List[int] = []
+        self._ops_hist = registry.histogram(
+            "dequeue_ops", OPS_BUCKETS, **labels
+        )
+        # WSS scan-length evidence, only for schedulers exposing the
+        # cumulative terms-scanned counter (SRR and its variants).
+        self._scans = getattr(sched, "terms_scanned", None) is not None
+        self._scan_hist = (
+            registry.histogram("wss_terms", OPS_BUCKETS, **labels)
+            if self._scans else None
+        )
+
+    def pull(self, budget: int) -> int:
+        """Dequeue up to ``budget`` packets, profiling each decision;
+        returns the number actually served."""
+        sched = self.sched
+        ops = self.ops
+        observe = self._ops_hist.observe
+        served = 0
+        for _ in range(budget):
+            before = ops.count
+            scans_before = sched.terms_scanned if self._scans else 0
+            if sched.dequeue() is None:
+                break
+            delta = ops.count - before
+            self.deltas.append(delta)
+            observe(delta)
+            if self._scans:
+                scan_delta = sched.terms_scanned - scans_before
+                self.scan_deltas.append(scan_delta)
+                self._scan_hist.observe(scan_delta)
+            served += 1
+        return served
+
+    def summary(self) -> Dict[str, float]:
+        """Exact distribution summary of the profiled decisions."""
+        deltas = sorted(self.deltas)
+        out: Dict[str, float] = {
+            "served": len(deltas),
+            "total_ops": sum(deltas),
+            "mean_ops": sum(deltas) / len(deltas) if deltas else 0.0,
+            "p50_ops": percentile(deltas, 0.50),
+            "p90_ops": percentile(deltas, 0.90),
+            "p99_ops": percentile(deltas, 0.99),
+            "worst_ops": deltas[-1] if deltas else 0,
+        }
+        if self._scans and self.scan_deltas:
+            scans = sorted(self.scan_deltas)
+            out["p99_scan_terms"] = percentile(scans, 0.99)
+            out["worst_scan_terms"] = scans[-1]
+        return out

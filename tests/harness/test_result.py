@@ -102,6 +102,23 @@ class TestRunResult:
         stable = result.stable_json_dict()
         assert all("engine" not in p for p in stable["points"])
 
+    def test_obs_block_round_trips_and_stays_stable(self):
+        result = run_config(
+            "e5", seed=2,
+            overrides={"schedulers": ("srr",), "n_values": (8,),
+                       "measure": 32, "time_it": False},
+        )
+        metrics = result.obs["metrics"]
+        key = "dequeue_ops{n=8,scheduler=srr}"
+        assert metrics[key]["type"] == "histogram"
+        assert metrics[key]["count"] == 32
+        data = json.loads(json.dumps(result.to_json_dict()))
+        assert data["obs"]["metrics"] == metrics
+        back = RunResult.from_json_dict(data)
+        assert back.obs == result.obs
+        # Not volatile: two runs must agree byte for byte on the block.
+        assert "obs" in result.stable_json_dict()
+
     def test_engine_totals_from_network_experiments(self):
         result = run_config(
             "e3",

@@ -90,6 +90,25 @@ class TestExperimentParallelism:
         parallel = run_config("e5", seed=7, jobs=2, overrides=overrides)
         assert serial.stable_json_dict() == parallel.stable_json_dict()
 
+    def test_e5_obs_metrics_identical_across_jobs(self):
+        # The observability block is deliberately part of the stable
+        # form; assert the registry itself, not just the containing dict,
+        # so a regression points straight at the merge.
+        from repro.bench.runner import run_config
+
+        overrides = {
+            "schedulers": ("srr", "wfq"),
+            "n_values": (8, 16),
+            "measure": 200,
+        }
+        serial = run_config("e5", seed=7, overrides=overrides)
+        parallel = run_config("e5", seed=7, jobs=2, overrides=overrides)
+        assert "obs" in serial.stable_json_dict()
+        assert serial.obs["metrics"], "e5 must populate the registry"
+        assert serial.obs == parallel.obs
+        key = "dequeue_ops{n=8,scheduler=srr}"
+        assert serial.obs["metrics"][key]["count"] == 32  # 8 flows x 4 pkts
+
     def test_e9_timing_fields_excluded_from_stable_form(self):
         # E9 measures wall-clock time as its data; the declared timing
         # fields are volatile, everything else must still be identical.

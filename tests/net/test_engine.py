@@ -224,3 +224,48 @@ class TestRunUntilEdgeCases:
         sim.run()
         assert sim.cancelled_reaped == 1
         assert sim.now == 1.0
+
+
+class TestCallbackHookHoist:
+    """The hook is read once per run() call (hot-loop hoist)."""
+
+    def test_hook_installed_before_run_sees_every_event(self):
+        sim = Simulator()
+        seen = []
+        sim.callback_hook = lambda event, dt: seen.append(event.time)
+        for t in (0.1, 0.2, 0.3):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert seen == [0.1, 0.2, 0.3]
+        assert len(seen) == sim.events_processed
+
+    def test_hook_installed_mid_run_takes_effect_next_run(self):
+        sim = Simulator()
+        seen = []
+
+        def install():
+            sim.callback_hook = lambda event, dt: seen.append(event.time)
+
+        sim.schedule(0.1, install)
+        sim.schedule(0.2, lambda: None)
+        sim.run()
+        # Documented semantics: the attribute is read once per run(), so
+        # the in-run install misses this run's remaining events...
+        assert seen == []
+        sim.schedule_at(0.3, lambda: None)
+        sim.run()
+        # ...and catches everything from the next call on.
+        assert seen == [0.3]
+
+    def test_hook_removed_mid_run_still_fires_this_run(self):
+        sim = Simulator()
+        seen = []
+        sim.callback_hook = lambda event, dt: seen.append(event.time)
+
+        def uninstall():
+            sim.callback_hook = None
+
+        sim.schedule(0.1, uninstall)
+        sim.schedule(0.2, lambda: None)
+        sim.run()
+        assert seen == [0.1, 0.2]

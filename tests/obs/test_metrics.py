@@ -1,0 +1,248 @@
+"""Tests for the deterministic metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DELAY_BUCKETS_S,
+    NULL_REGISTRY,
+    OPS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    log2_buckets,
+    log10_buckets,
+    metric_key,
+    set_registry,
+)
+
+
+class TestBuckets:
+    def test_log2_edges(self):
+        assert log2_buckets(4) == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_log10_per_decade(self):
+        edges = log10_buckets(0, 1, per_decade=2)
+        assert edges[0] == 1.0
+        assert edges[-1] == 10.0
+        assert len(edges) == 3
+
+    def test_defaults_strictly_increasing(self):
+        for table in (OPS_BUCKETS, DELAY_BUCKETS_S):
+            assert all(a < b for a, b in zip(table, table[1:]))
+
+
+class TestCounter:
+    def test_inc_and_snapshot(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.snapshot() == {"type": "counter", "value": 6}
+
+    def test_merge_adds(self):
+        a, b = Counter(), Counter()
+        a.inc(3)
+        b.inc(4)
+        a.merge(b.snapshot())
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        g = Gauge()
+        g.set(5.0)
+        g.set_max(3.0)
+        assert g.value == 5.0
+        g.set_max(9.0)
+        assert g.value == 9.0
+
+    def test_merge_keeps_max(self):
+        a, b = Gauge(), Gauge()
+        a.set(2.0)
+        b.set(7.0)
+        a.merge(b.snapshot())
+        assert a.value == 7.0
+        a.merge(Gauge().snapshot())  # merging a zero gauge keeps the max
+        assert a.value == 7.0
+
+
+class TestHistogram:
+    def test_bucket_placement_inclusive_right_edge(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (1, 2, 2, 3, 4, 100):
+            h.observe(v)
+        # (..,1] (1,2] (2,4] overflow
+        assert h.buckets == [1, 2, 2, 1]
+        assert h.count == 6
+        assert h.minimum == 1 and h.maximum == 100
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_quantile_is_bucket_upper_bound_clamped_to_max(self):
+        h = Histogram((1.0, 2.0, 4.0, 8.0))
+        for v in (1, 1, 1, 3):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        # The p100 bucket edge is 4.0 but the exact max (3) clamps it.
+        assert h.quantile(1.0) == 3
+        assert h.mean == pytest.approx(1.5)
+
+    def test_quantile_overflow_bucket_returns_exact_max(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(500)
+        assert h.quantile(0.99) == 500
+
+    def test_quantile_empty_and_bad_q(self):
+        h = Histogram((1.0,))
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_adds_buckets_and_tracks_extremes(self):
+        a, b = Histogram((1.0, 2.0)), Histogram((1.0, 2.0))
+        a.observe(1)
+        b.observe(2)
+        b.observe(9)
+        a.merge(b.snapshot())
+        assert a.count == 3
+        assert a.buckets == [1, 1, 1]
+        assert a.minimum == 1 and a.maximum == 9
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a, b = Histogram((1.0, 2.0)), Histogram((1.0, 4.0))
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_merge_empty_histogram_keeps_none_extremes(self):
+        a = Histogram((1.0,))
+        a.merge(Histogram((1.0,)).snapshot())
+        assert a.count == 0 and a.minimum is None and a.maximum is None
+
+
+class TestMetricKey:
+    def test_no_labels(self):
+        assert metric_key("x", {}) == "x"
+
+    def test_labels_sorted(self):
+        assert (
+            metric_key("dequeue_ops", {"scheduler": "srr", "n": 64})
+            == "dequeue_ops{n=64,scheduler=srr}"
+        )
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_identity(self):
+        r = MetricsRegistry()
+        a = r.counter("drops", port="p0")
+        b = r.counter("drops", port="p0")
+        assert a is b
+        assert len(r) == 1
+
+    def test_type_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+        with pytest.raises(TypeError):
+            r.histogram("x")
+
+    def test_snapshot_sorted_and_json_serialisable(self):
+        r = MetricsRegistry()
+        r.counter("zeta").inc()
+        r.histogram("alpha", (1.0, 2.0)).observe(1)
+        snap = r.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must not raise
+
+    def test_merge_snapshot_creates_and_adds(self):
+        child = MetricsRegistry()
+        child.counter("events").inc(3)
+        child.gauge("depth").set(5.0)
+        child.histogram("ops", (1.0, 2.0)).observe(2)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(child.snapshot())
+        parent.merge_snapshot(child.snapshot())
+        assert parent.get("events").value == 6
+        assert parent.get("depth").value == 5.0
+        assert parent.get("ops").count == 2
+
+    def test_merge_order_independent(self):
+        def child(seed):
+            r = MetricsRegistry()
+            r.counter("c").inc(seed)
+            r.gauge("g").set(seed)
+            h = r.histogram("h", (1.0, 4.0, 16.0))
+            h.observe(seed)
+            return r.snapshot()
+
+        snaps = [child(s) for s in (1, 5, 9)]
+        ab = MetricsRegistry()
+        for s in snaps:
+            ab.merge_snapshot(s)
+        ba = MetricsRegistry()
+        for s in reversed(snaps):
+            ba.merge_snapshot(s)
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_merge_snapshot_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.merge_snapshot({"x": {"type": "gauge", "value": 1.0}})
+
+    def test_items_sorted_and_clear(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.counter("a")
+        assert [k for k, _ in r.items()] == ["a", "b"]
+        r.clear()
+        assert len(r) == 0
+
+
+class TestNullRegistry:
+    def test_shared_noop_singletons(self):
+        r = NullRegistry()
+        assert r.counter("a") is NULL_REGISTRY.counter("b")
+        c = r.counter("x", port="p")
+        c.inc(100)
+        assert c.value == 0
+        g = r.gauge("y")
+        g.set(3.0)
+        g.set_max(9.0)
+        assert g.value == 0.0
+        h = r.histogram("z")
+        h.observe(42)
+        assert h.count == 0
+
+    def test_disabled_and_empty(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+        assert NULL_REGISTRY.snapshot() == {}
+        NULL_REGISTRY.merge_snapshot({"x": {"type": "counter", "value": 1}})
+        assert NULL_REGISTRY.snapshot() == {}
+
+
+class TestActiveRegistry:
+    def test_defaults_to_null(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_returns_previous_and_none_disables(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+            assert set_registry(None) is mine
+            assert get_registry() is NULL_REGISTRY
+        finally:
+            set_registry(previous)

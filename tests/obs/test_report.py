@@ -1,0 +1,93 @@
+"""Tests for the artifact metrics summarizer (python -m repro.obs report)."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import load_metrics_block, render_metrics, split_key
+
+
+class TestSplitKey:
+    def test_plain_name(self):
+        assert split_key("events") == ("events", {})
+
+    def test_labels(self):
+        name, labels = split_key("dequeue_ops{n=64,scheduler=srr}")
+        assert name == "dequeue_ops"
+        assert labels == {"n": "64", "scheduler": "srr"}
+
+
+def sample_metrics():
+    r = MetricsRegistry()
+    r.counter("port_drops", port="a->b").inc(3)
+    r.gauge("heap_depth").set(17)
+    h = r.histogram("dequeue_ops", (1.0, 2.0, 4.0), scheduler="srr", n=64)
+    for v in (1, 2, 2, 3):
+        h.observe(v)
+    return r.snapshot()
+
+
+def write_artifact(tmp_path, obs):
+    path = tmp_path / "run.json"
+    path.write_text(json.dumps({"experiment": "e5", "obs": obs}))
+    return str(path)
+
+
+class TestLoadMetricsBlock:
+    def test_loads(self, tmp_path):
+        path = write_artifact(tmp_path, {"metrics": sample_metrics()})
+        block = load_metrics_block(path)
+        assert "heap_depth" in block
+
+    def test_missing_block_raises(self, tmp_path):
+        path = write_artifact(tmp_path, {})
+        with pytest.raises(KeyError):
+            load_metrics_block(path)
+
+
+class TestRenderMetrics:
+    def test_sections(self):
+        text = render_metrics(sample_metrics())
+        assert "Counters and gauges" in text
+        assert "Histograms" in text
+        assert "port_drops" in text and "dequeue_ops" in text
+        assert "n=64,scheduler=srr" in text
+
+    def test_family_filter(self):
+        text = render_metrics(sample_metrics(), family="dequeue_ops")
+        assert "dequeue_ops" in text
+        assert "port_drops" not in text
+
+    def test_no_match(self):
+        assert render_metrics({}, family="nope") == "(no matching metrics)"
+
+
+class TestCli:
+    def test_report_renders_artifact(self, tmp_path, capsys):
+        path = write_artifact(tmp_path, {"metrics": sample_metrics()})
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert f"== {path}" in out
+        assert "dequeue_ops" in out
+
+    def test_report_errors_on_missing_block(self, tmp_path, capsys):
+        path = write_artifact(tmp_path, {})
+        assert main(["report", path]) == 1
+        assert "no observability metrics block" in capsys.readouterr().err
+
+    def test_report_on_real_e5_artifact(self, tmp_path, capsys):
+        from repro.bench.runner import run_config
+        from repro.harness import write_artifact as write_run_artifact
+
+        result = run_config(
+            "e5", scale="quick", quiet=True,
+            overrides={"n_values": (16,), "measure": 64,
+                       "schedulers": ("srr",), "time_it": False},
+        )
+        path = write_run_artifact(result, results_dir=str(tmp_path))
+        assert main(["report", str(path), "--family", "dequeue_ops"]) == 0
+        out = capsys.readouterr().out
+        assert "dequeue_ops" in out
+        assert "scheduler=srr" in out
