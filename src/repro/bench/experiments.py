@@ -72,6 +72,7 @@ __all__ = [
     "e10_bound_validation",
     "e11_variable_packet_sizes",
     "e12_admission_quotes",
+    "e13_churn_resilience",
 ]
 
 
@@ -1326,6 +1327,215 @@ def e12_admission_quotes(
 
 
 # ---------------------------------------------------------------------------
+# E13 — [ext] churn/fault resilience (the dynamic regime the paper assumes)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class E13Params:
+    schedulers: Tuple[str, ...] = ("srr", "drr", "wfq")
+    #: Fault intensity multipliers (0.0 = fault-free baseline).
+    intensities: Tuple[float, ...] = (0.0, 2.0, 8.0)
+    duration: float = 4.0
+    n_flows: int = 8
+    #: Base (intensity 1.0) fault rates, events/s.
+    churn_rate_hz: float = 1.0
+    flap_rate_hz: float = 0.5
+    burst_rate_hz: float = 0.5
+    malformed_rate_hz: float = 0.5
+    #: Attach the runtime invariant pack to every port scheduler
+    #: (``--check-invariants``); violations are counted, not raised, so
+    #: the totals land in the artifact for CI to assert on.
+    check_invariants: bool = False
+
+
+def _e13_point(
+    scheduler: str,
+    intensity: float,
+    duration: float,
+    n_flows: int,
+    fault_rates: Tuple[float, float, float, float],
+    seed: int,
+    check_invariants: bool,
+) -> Dict:
+    from ..core.opcount import OpCounter
+    from ..faults import FaultInjector, FaultSpec, build_fault_plan, guard_network
+    from ..net.scenario import Network
+    from ..net.sources import CBRSource
+    from ..obs.metrics import MetricsRegistry, set_registry
+    from ..obs.profile import percentile
+
+    churn_hz, flap_hz, burst_hz, malformed_hz = fault_rates
+    registry = MetricsRegistry()
+    ops = OpCounter()
+    kwargs: Dict = {"op_counter": ops}
+    if scheduler in ("srr", "drr"):
+        kwargs["quantum"] = MTU
+    if scheduler == "srr":
+        kwargs["mode"] = "deficit"
+    # Ports resolve their (fault) counters from the active registry at
+    # construction, so the per-point registry must be active while the
+    # topology is built; restored immediately after.
+    previous = set_registry(registry)
+    try:
+        net = Network(default_scheduler=scheduler,
+                      default_scheduler_kwargs=kwargs)
+        for n in ("src", "router", "dst"):
+            net.add_node(n)
+        net.add_link("src", "router", rate_bps=100e6, delay=0.0001)
+        net.add_link("router", "dst", rate_bps=BOTTLENECK_BPS, delay=0.001,
+                     buffer_packets=4 * n_flows * 8)
+    finally:
+        set_registry(previous)
+    bottleneck = net.port("router", "dst")
+    bottleneck.max_packet_bytes = MTU  # malformed "oversize" drops here
+    weights = {f"bg{i}": (i % 4) + 1 for i in range(n_flows)}
+    for fid, w in weights.items():
+        net.add_flow(fid, "src", "dst", weight=w)
+        net.attach_source(
+            fid, CBRSource(rate_bps=w * WEIGHT_UNIT_BPS, packet_size=MTU)
+        )
+    plan = build_fault_plan(
+        FaultSpec(
+            churn_rate_hz=churn_hz, flap_rate_hz=flap_hz,
+            burst_rate_hz=burst_hz, malformed_rate_hz=malformed_hz,
+        ).scaled(intensity),
+        seed=seed, duration=duration,
+        links=[("router", "dst")], churn_route=("src", "dst"),
+        burst_node="src", weight_unit_bps=WEIGHT_UNIT_BPS, packet_size=MTU,
+    )
+    injector = FaultInjector(
+        net, plan, fault_route=("src", "dst"), registry=registry,
+    )
+    injector.install()
+    guards = []
+    if check_invariants:
+        guards = guard_network(
+            net, every=16, mode="record", registry=registry,
+        )
+    # Per-dequeue op profile at the bottleneck: the O(1) claim must hold
+    # *through* churn, which is exactly when SRR's matrix/k-order work
+    # happens. Wrapped before any guard so the delta brackets the real
+    # scheduler call either way.
+    sched = bottleneck.scheduler
+    inner = sched.dequeue
+    deltas: List[int] = []
+
+    def profiled_dequeue():
+        before = ops.count
+        packet = inner()
+        deltas.append(ops.count - before)
+        return packet
+
+    sched.dequeue = profiled_dequeue
+    if guards:
+        # Re-attach the bottleneck guard on top of the profiler.
+        for guard in guards:
+            if guard.sched is sched:
+                guard.detach()
+                sched.dequeue = profiled_dequeue
+                guard.attach()
+    net.run(until=duration)
+    shares = [
+        net.sinks.flow(fid).throughput_bps(0.0, duration) / w
+        for fid, w in weights.items()
+    ]
+    tag_delays = sorted(net.sinks.delays("bg0"))
+    deltas.sort()
+    record = {
+        "scheduler": scheduler,
+        "intensity": intensity,
+        "jain": round(jain_index(shares), 5),
+        "tag_p99_ms": round(
+            percentile(tag_delays, 0.99) * 1e3, 3
+        ) if tag_delays else None,
+        "tag_max_ms": round(max(tag_delays) * 1e3, 3) if tag_delays else None,
+        "faults_fired": len(injector.fired),
+        "plan_sig": plan.signature(),
+        "p99_ops": int(percentile(deltas, 0.99)) if deltas else 0,
+        "worst_ops": int(deltas[-1]) if deltas else 0,
+        "served": len(deltas) - deltas.count(0) if deltas else 0,
+        "violations": sum(len(g.violations) for g in guards),
+        "checks": sum(g.checks_run for g in guards),
+        "metrics_snapshot": registry.snapshot(),
+        "engine": net.engine_stats(),
+    }
+    return record
+
+
+def _e13_body(p: E13Params, ctx: RunContext) -> Dict:
+    """SRR fairness/latency degradation under deterministic chaos (E13).
+
+    Sweeps fault intensity per scheduler: seeded link flaps, flow churn
+    (the paper's CAC add / signalling remove, live), overload bursts and
+    malformed packets, all from a :class:`~repro.faults.FaultPlan` that
+    is bit-identical between serial and ``--jobs N`` runs. Confirms the
+    E5 O(1) dequeue profile *holds under churn* (worst/p99 ops at the
+    bottleneck stay flat while the flow set mutates) and — with
+    ``check_invariants`` — that no structural invariant breaks mid-chaos.
+    """
+    rates = (p.churn_rate_hz, p.flap_rate_hz, p.burst_rate_hz,
+             p.malformed_rate_hz)
+    tasks = []
+    pairs = [
+        (scheduler, intensity)
+        for scheduler in p.schedulers for intensity in p.intensities
+    ]
+    for i, (scheduler, intensity) in enumerate(pairs):
+        tasks.append((
+            scheduler, intensity, p.duration, p.n_flows, rates,
+            ctx.child_seed(i), p.check_invariants,
+        ))
+    records = ctx.sweep(_e13_point, tasks)
+    for record in records:
+        ctx.record_metrics(record.pop("metrics_snapshot"))
+        ctx.record_engine(record.pop("engine"))
+    ctx.add_points(records)
+    ctx.table(
+        ["scheduler", "intensity", "jain", "tag p99 ms", "faults",
+         "p99 ops", "worst ops", "violations"],
+        records=records,
+        columns=["scheduler", "intensity", "jain", "tag_p99_ms",
+                 "faults_fired", "p99_ops", "worst_ops", "violations"],
+        title="E13: fairness/latency/op-cost under seeded faults "
+              "(churn + flaps + bursts + malformed; jain over weighted "
+              "background shares)",
+    )
+    results: Dict = {}
+    for record in records:
+        results.setdefault(record["scheduler"], {})[record["intensity"]] = {
+            "jain": record["jain"],
+            "p99_ops": record["p99_ops"],
+            "faults_fired": record["faults_fired"],
+        }
+    results["violations_total"] = sum(r["violations"] for r in records)
+    results["checks_total"] = sum(r["checks"] for r in records)
+    results["plan_signatures"] = {
+        f"{r['scheduler']}@{r['intensity']}": r["plan_sig"] for r in records
+    }
+    return results
+
+
+def e13_churn_resilience(
+    schedulers: Sequence[str] = None,
+    intensities: Sequence[float] = None,
+    *,
+    duration: float = None,
+    n_flows: int = None,
+    check_invariants: bool = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Fairness/latency/O(1) profile under seeded churn and faults (E13)."""
+    return _metrics(
+        "e13",
+        {"schedulers": schedulers, "intensities": intensities,
+         "duration": duration, "n_flows": n_flows,
+         "check_invariants": check_invariants},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
+
+
+# ---------------------------------------------------------------------------
 # The declarative experiment registry
 # ---------------------------------------------------------------------------
 
@@ -1433,5 +1643,20 @@ SPECS: Dict[str, ExperimentSpec] = {
         params_type=E12Params,
         body=_e12_body,
         scales={"quick": {"validate": False}, "full": {}},
+    ),
+    "e13": ExperimentSpec(
+        eid="e13",
+        title="[ext] churn/fault resilience: fairness + O(1) under chaos",
+        params_type=E13Params,
+        body=_e13_body,
+        scales={
+            "quick": {
+                "intensities": (0.0, 4.0), "duration": 2.0, "n_flows": 4,
+            },
+            "full": {
+                "intensities": (0.0, 1.0, 2.0, 4.0, 8.0, 16.0),
+                "duration": 10.0, "n_flows": 16,
+            },
+        },
     ),
 }

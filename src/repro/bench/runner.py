@@ -41,13 +41,14 @@ EXPERIMENTS: Dict[str, Callable[..., Dict]] = {
     "e10": experiments.e10_bound_validation,
     "e11": experiments.e11_variable_packet_sizes,
     "e12": experiments.e12_admission_quotes,
+    "e13": experiments.e13_churn_resilience,
 }
 
 _DESCRIPTIONS = {eid: spec.title for eid, spec in SPECS.items()}
 
 
 def run_experiment(name: str, **kwargs) -> Dict:
-    """Run one experiment by id (``"e1"`` .. ``"e12"``), legacy style."""
+    """Run one experiment by id (``"e1"`` .. ``"e13"``), legacy style."""
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
@@ -64,6 +65,9 @@ def run_config(
     scale: str = "default",
     jobs: int = 1,
     quiet: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    checkpoint_dir: Optional[str] = None,
     overrides: Optional[Mapping[str, Any]] = None,
 ) -> RunResult:
     """Run one experiment through the harness; return the full RunResult."""
@@ -75,6 +79,7 @@ def run_config(
         ) from None
     config = build_config(
         spec, seed=seed, scale=scale, jobs=jobs, quiet=quiet,
+        timeout=timeout, retries=retries, checkpoint_dir=checkpoint_dir,
         overrides=overrides,
     )
     return run_config_for_spec(spec, config)
@@ -159,6 +164,30 @@ def main(argv: List[str] = None) -> int:
              "write them as JSONL to PATH; forces --jobs 1 so events "
              "from pool workers are not lost",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-sweep-point wall-clock budget; hung points are "
+             "terminated and recorded as FailedRun instead of wedging "
+             "the run",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a failed/timed-out sweep point up to N extra times "
+             "(each attempt's child seed is recorded in the artifact)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="checkpoint each sweep point under "
+             "<results-dir>/<exp>/checkpoints/ and skip points whose "
+             "valid checkpoint already exists (failed points re-run)",
+    )
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="attach the runtime invariant guard pack (SRR matrix "
+             "integrity, DRR credit conservation, WFQ vtime "
+             "monotonicity, work conservation) where the experiment "
+             "supports it",
+    )
     args = parser.parse_args(argv)
 
     from ..harness import write_artifact
@@ -179,20 +208,49 @@ def main(argv: List[str] = None) -> int:
             jobs = 1
         tracer = Tracer()
         previous_tracer = set_tracer(tracer)
+    if args.check_invariants:
+        overrides = dict(overrides)
+        overrides["check_invariants"] = True
+        unsupported = [
+            n for n in names
+            if "check_invariants" not in SPECS[n].param_names()
+        ]
+        if unsupported and args.experiment != "all":
+            raise ConfigurationError(
+                f"--check-invariants is not supported by "
+                f"{', '.join(unsupported)}"
+            )
     payloads = []
     try:
         for name in names:
+            checkpoint_dir = None
+            if args.resume:
+                # Deterministic location, so a re-run of the same
+                # (experiment, seed, scale) finds its own checkpoints.
+                checkpoint_dir = (
+                    f"{args.results_dir}/{name}/checkpoints/"
+                    f"seed{args.seed}-{scale}"
+                )
             result = run_config(
                 name,
                 seed=args.seed,
                 scale=scale,
                 jobs=jobs,
                 quiet=args.quiet or args.json,
+                timeout=args.timeout,
+                retries=args.retries,
+                checkpoint_dir=checkpoint_dir,
                 overrides=overrides if args.experiment != "all" else {
                     k: v for k, v in overrides.items()
                     if k in SPECS[name].param_names()
                 },
             )
+            if result.failed:
+                print(
+                    f"{name}: {len(result.failed)} sweep point(s) failed "
+                    f"after retries (recorded in the artifact)",
+                    file=sys.stderr,
+                )
             if not args.no_artifact:
                 path = write_artifact(result, results_dir=args.results_dir)
                 print(f"wrote {path}", file=sys.stderr)

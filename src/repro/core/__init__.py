@@ -12,11 +12,13 @@ Public surface:
 
 from .errors import (
     AdmissionError,
+    ArtifactError,
     CapacityError,
     ConfigurationError,
     DuplicateFlowError,
     FlowError,
     InvalidWeightError,
+    InvariantViolation,
     ReproError,
     SimulationError,
     UnknownFlowError,
@@ -43,6 +45,7 @@ from .wss import (
 
 __all__ = [
     "AdmissionError",
+    "ArtifactError",
     "CapacityError",
     "ColumnList",
     "ConfigurationError",
@@ -53,6 +56,7 @@ __all__ = [
     "HierarchicalScheduler",
     "FoldedWSS",
     "InvalidWeightError",
+    "InvariantViolation",
     "MaterializedWSS",
     "NULL_COUNTER",
     "NullOpCounter",

@@ -51,3 +51,39 @@ class CapacityError(ConfigurationError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistent state."""
+
+
+class ArtifactError(ReproError):
+    """A results/trace artifact is missing, truncated, or has the wrong
+    schema. Raised by loaders instead of leaking ``json.JSONDecodeError``
+    (or worse, silently returning garbage) on partial writes."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant guard caught corrupted scheduler state.
+
+    Structured so failures are diagnosable from the exception alone: the
+    named ``check`` that fired, the scheduler it fired on, a ``details``
+    dict with the offending values, and — when a tracer was active — the
+    ``trace_window`` of events leading up to the violation.
+    """
+
+    def __init__(
+        self,
+        check: str,
+        scheduler: str = "?",
+        details: object = None,
+        trace_window: object = None,
+    ) -> None:
+        self.check = check
+        self.scheduler = scheduler
+        self.details = dict(details or {})
+        self.trace_window = list(trace_window or [])
+        parts = [f"invariant {check!r} violated on scheduler {scheduler!r}"]
+        if self.details:
+            parts.append(
+                "; ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
+            )
+        if self.trace_window:
+            parts.append(f"last {len(self.trace_window)} trace events attached")
+        super().__init__(" — ".join(parts))

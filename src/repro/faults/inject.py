@@ -1,0 +1,215 @@
+"""The fault injector: replays a :class:`~repro.faults.plan.FaultPlan`
+against a live :class:`~repro.net.scenario.Network`.
+
+Faults are ordinary simulator events — ``install()`` schedules one
+callback per planned event, so fault firing interleaves with packet
+arrivals/departures under the engine's deterministic tie-breaking and
+the run stays bit-reproducible. Every fired fault bumps a
+``fault_<kind>_total`` counter in the active metrics registry and emits a
+``fault`` trace event, so the PR-2 observability layer exports the chaos
+alongside the packet lifecycle it perturbed.
+
+What each kind exercises:
+
+* ``link_down``/``link_up`` — the port transmit loop's availability
+  handling (queued packets park or drop per ``drop_queued``).
+* ``flow_join``/``flow_leave`` — the schedulers' *dynamic* paths: SRR's
+  weight-matrix resize and k-order change mid-round, DRR's active-list
+  surgery, WFQ/WF²Q+'s heap removal. This is the paper's CAC/signalling
+  model ("a flow is added by a CAC and removed by a signalling
+  protocol") actually running mid-simulation.
+* ``burst`` — transient overload on a bounded best-effort fault flow.
+* ``malformed`` — oversized (MTU-violating) and unknown-flow packets
+  that must be dropped at the port, not crash the datapath.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import ReproError
+from ..core.packet import Packet
+from ..net.scenario import Network
+from ..net.sources import CBRSource
+from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import get_registry as _active_registry
+from ..obs.trace import Tracer, get_tracer
+from .plan import FaultEvent, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+#: Flow id of the injector's best-effort burst/malformed carrier.
+FAULT_FLOW = "fault-burst"
+#: Flow id deliberately never registered anywhere (unknown-flow faults).
+GHOST_FLOW = "fault-ghost"
+
+
+class FaultInjector:
+    """Schedules and fires one plan's faults against one network.
+
+    Args:
+        net: The target network (already built; flows may churn later).
+        plan: The precomputed deterministic schedule.
+        drop_queued: Policy for downed links' queued packets.
+        fault_route: ``(src, dst)`` route for burst/malformed carriers;
+            required when the plan contains ``burst``/``malformed``
+            events. The carrier flow is installed best-effort with a
+            small bounded queue, so bursts pressure the scheduler without
+            an unbounded memory tail.
+        registry/tracer: Override the process-active metrics registry /
+            tracer (both resolved at construction like ports do).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        plan: FaultPlan,
+        *,
+        drop_queued: bool = False,
+        fault_route: Optional[Tuple[str, str]] = None,
+        fault_queue: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.net = net
+        self.plan = plan
+        self.drop_queued = drop_queued
+        self.fault_route = fault_route
+        self.fault_queue = fault_queue
+        self.tracer = tracer if tracer is not None else get_tracer()
+        registry = registry if registry is not None else _active_registry()
+        self._counters = {
+            kind: registry.counter(f"fault_{kind}_total")
+            for kind in (
+                "link_down", "link_up", "flow_join", "flow_leave",
+                "burst", "malformed", "skipped",
+            )
+        }
+        #: Chronological record of (time, kind) actually fired (tests).
+        self.fired: List[Tuple[float, str]] = []
+        self._seq = 0
+        self._installed = False
+
+    # -- setup ---------------------------------------------------------------
+
+    def install(self) -> int:
+        """Schedule every planned event on the simulator; returns count.
+
+        Idempotent per injector instance (a second call is a no-op) so a
+        scenario builder can call it defensively.
+        """
+        if self._installed:
+            return 0
+        self._installed = True
+        needs_carrier = any(
+            ev.kind in ("burst", "malformed") for ev in self.plan.events
+        )
+        if needs_carrier:
+            if self.fault_route is None:
+                raise ReproError(
+                    "plan contains burst/malformed events: "
+                    "FaultInjector needs fault_route=(src, dst)"
+                )
+            src, dst = self.fault_route
+            self.net.add_flow(
+                FAULT_FLOW, src, dst, weight=1, max_queue=self.fault_queue
+            )
+        for ev in self.plan.events:
+            self.net.sim.schedule_at(ev.time, self._fire, ev)
+        return len(self.plan.events)
+
+    # -- firing --------------------------------------------------------------
+
+    def _record(self, ev: FaultEvent, **extra: Any) -> None:
+        self._counters[ev.kind].inc()
+        self.fired.append((self.net.sim.now, ev.kind))
+        if self.tracer is not None:
+            fields: Dict[str, Any] = {k: v for k, v in ev.args}
+            fields.update(extra)
+            self.tracer.emit("fault", self.net.sim.now, fault=ev.kind, **fields)
+
+    def _skip(self, ev: FaultEvent, reason: str) -> None:
+        self._counters["skipped"].inc()
+        self.fired.append((self.net.sim.now, f"{ev.kind}:skipped"))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault", self.net.sim.now, fault=ev.kind, skipped=reason,
+            )
+
+    def _fire(self, ev: FaultEvent) -> None:
+        handler = getattr(self, f"_fire_{ev.kind}", None)
+        if handler is None:
+            self._skip(ev, f"unknown kind {ev.kind!r}")
+            return
+        handler(ev)
+
+    def _fire_link_down(self, ev: FaultEvent) -> None:
+        try:
+            dropped = self.net.set_link_state(
+                ev.arg("src"), ev.arg("dst"), up=False,
+                drop_queued=self.drop_queued,
+            )
+        except ReproError as exc:
+            self._skip(ev, str(exc))
+            return
+        self._record(ev, dropped=dropped)
+
+    def _fire_link_up(self, ev: FaultEvent) -> None:
+        try:
+            self.net.set_link_state(ev.arg("src"), ev.arg("dst"), up=True)
+        except ReproError as exc:
+            self._skip(ev, str(exc))
+            return
+        self._record(ev)
+
+    def _fire_flow_join(self, ev: FaultEvent) -> None:
+        flow = ev.arg("flow")
+        try:
+            self.net.add_flow(
+                flow, ev.arg("src"), ev.arg("dst"),
+                weight=ev.arg("weight", 1), max_queue=self.fault_queue,
+            )
+        except ReproError as exc:
+            self._skip(ev, str(exc))
+            return
+        self.net.attach_source(
+            flow,
+            CBRSource(
+                rate_bps=ev.arg("rate_bps", 16_000),
+                packet_size=ev.arg("size", 200),
+            ),
+        )
+        self._record(ev)
+
+    def _fire_flow_leave(self, ev: FaultEvent) -> None:
+        flow = ev.arg("flow")
+        if flow not in self.net.flows:
+            # The paired join was skipped (or someone else removed it).
+            self._skip(ev, "flow not installed")
+            return
+        self.net.remove_flow(flow)
+        self._record(ev)
+
+    def _inject(self, node: str, flow_id: str, size: int) -> None:
+        src, dst = self.fault_route if self.fault_route else (node, node)
+        packet = Packet(
+            flow_id, size, created_at=self.net.sim.now,
+            seq=self._seq, src=src, dst=dst,
+        )
+        self._seq += 1
+        self.net.nodes[node].inject(packet)
+
+    def _fire_burst(self, ev: FaultEvent) -> None:
+        node = ev.arg("node")
+        count = ev.arg("count", 1)
+        size = ev.arg("size", 200)
+        for _ in range(count):
+            self._inject(node, FAULT_FLOW, size)
+        self._record(ev)
+
+    def _fire_malformed(self, ev: FaultEvent) -> None:
+        node = ev.arg("node")
+        variant = ev.arg("variant", "oversize")
+        flow = GHOST_FLOW if variant == "unknown_flow" else FAULT_FLOW
+        self._inject(node, flow, ev.arg("size", 1600))
+        self._record(ev, variant=variant)

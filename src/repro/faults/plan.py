@@ -1,0 +1,277 @@
+"""Seeded fault plans: the deterministic half of fault injection.
+
+A :class:`FaultPlan` is a *pre-computed, immutable schedule* of fault
+events (link flaps, flow churn, overload bursts, malformed packets) for
+one simulation run. Building the schedule up front — instead of rolling
+dice inside the event loop — is what makes chaos reproducible: the plan
+is a pure function of ``(FaultSpec, seed, duration, topology)``, so a
+``--jobs 8`` sweep sees bit-identical fault schedules to a serial run,
+and a failing run's exact fault sequence can be replayed from its seed
+alone. :func:`FaultPlan.signature` hashes the schedule so tests and CI
+can assert that identity cheaply.
+
+Each fault category draws from its own :class:`random.Random` seeded via
+the harness' SplitMix64 ``child_seed`` (category index as the child
+index), so enabling or re-parameterising one category never perturbs the
+schedule of another — the same property the sweep machinery gives
+per-point RNGs.
+
+Event timing uses Poisson arrivals (exponential inter-event gaps at the
+category's rate) and exponential hold times, the standard memoryless
+churn/flap model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..harness.sweep import child_seed
+
+__all__ = ["FaultEvent", "FaultSpec", "FaultPlan", "build_fault_plan"]
+
+#: Category -> child-seed index. Append-only: re-ordering would silently
+#: change every existing plan's schedule for the same seed.
+_CATEGORY_INDEX = {"flap": 0, "churn": 1, "burst": 2, "malformed": 3}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``kind`` at simulation ``time`` with args.
+
+    Kinds: ``link_down``/``link_up`` (args ``src``, ``dst``),
+    ``flow_join``/``flow_leave`` (args ``flow``, plus ``src``/``dst``/
+    ``weight``/``rate_bps`` on join), ``burst`` (args ``node``, ``count``,
+    ``size``), ``malformed`` (args ``node``, ``variant``, ``size``).
+    """
+
+    time: float
+    kind: str
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    def arg(self, key: str, default: Any = None) -> Any:
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind,
+                "args": {k: v for k, v in self.args}}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault intensities; all rates are events per second.
+
+    A rate of 0 disables that category. ``intensity`` helpers scale every
+    rate together (the churn experiment's x-axis).
+    """
+
+    #: Flow churn: mid-run joins at this rate, each leaving after an
+    #: exponential hold of mean ``churn_hold_s``.
+    churn_rate_hz: float = 0.0
+    churn_hold_s: float = 1.0
+    #: Joined flows draw an integer weight in [1, 2**churn_max_weight_bits].
+    churn_max_weight_bits: int = 3
+    #: Link flaps: down events at this rate, each lasting an exponential
+    #: hold of mean ``flap_down_s``.
+    flap_rate_hz: float = 0.0
+    flap_down_s: float = 0.05
+    #: Whether a downed link drops its queued backlog (True) or parks it
+    #: until the link returns (False).
+    drop_queued: bool = False
+    #: Overload bursts: at this rate, ``burst_packets`` back-to-back
+    #: packets slam the bottleneck's best-effort fault flow.
+    burst_rate_hz: float = 0.0
+    burst_packets: int = 32
+    #: Malformed packets (oversized / unknown-flow) at this rate.
+    malformed_rate_hz: float = 0.0
+
+    def scaled(self, intensity: float) -> "FaultSpec":
+        """This spec with every rate multiplied by ``intensity``."""
+        if intensity < 0:
+            raise ConfigurationError(
+                f"fault intensity must be >= 0, got {intensity}"
+            )
+        return FaultSpec(
+            churn_rate_hz=self.churn_rate_hz * intensity,
+            churn_hold_s=self.churn_hold_s,
+            churn_max_weight_bits=self.churn_max_weight_bits,
+            flap_rate_hz=self.flap_rate_hz * intensity,
+            flap_down_s=self.flap_down_s,
+            drop_queued=self.drop_queued,
+            burst_rate_hz=self.burst_rate_hz * intensity,
+            burst_packets=self.burst_packets,
+            malformed_rate_hz=self.malformed_rate_hz * intensity,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted schedule of :class:`FaultEvent`."""
+
+    seed: int
+    duration: float
+    events: Tuple[FaultEvent, ...] = ()
+
+    def counts(self) -> Dict[str, int]:
+        """Events per kind (quick summary for tables/metrics)."""
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def signature(self) -> str:
+        """Content hash of the full schedule.
+
+        Two plans with the same signature are byte-identical — this is
+        what the CI chaos job compares between ``--jobs 1`` and
+        ``--jobs 4`` runs.
+        """
+        payload = json.dumps(
+            [ev.to_json_dict() for ev in self.events], sort_keys=True
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.faults/plan/v1",
+            "seed": self.seed,
+            "duration": self.duration,
+            "signature": self.signature(),
+            "events": [ev.to_json_dict() for ev in self.events],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        events = tuple(
+            FaultEvent(
+                time=ev["time"], kind=ev["kind"],
+                args=tuple(sorted(ev.get("args", {}).items())),
+            )
+            for ev in data.get("events", [])
+        )
+        return cls(
+            seed=data.get("seed", 0),
+            duration=data.get("duration", 0.0),
+            events=events,
+        )
+
+
+def _poisson_times(rng: random.Random, rate_hz: float, duration: float) -> List[float]:
+    """Poisson arrival times in (0, duration)."""
+    times: List[float] = []
+    if rate_hz <= 0:
+        return times
+    t = rng.expovariate(rate_hz)
+    while t < duration:
+        times.append(t)
+        t += rng.expovariate(rate_hz)
+    return times
+
+
+def build_fault_plan(
+    spec: FaultSpec,
+    *,
+    seed: int,
+    duration: float,
+    links: Sequence[Tuple[str, str]] = (),
+    churn_route: Optional[Tuple[str, str]] = None,
+    burst_node: Optional[str] = None,
+    weight_unit_bps: float = 16_000,
+    packet_size: int = 200,
+) -> FaultPlan:
+    """Derive the full fault schedule for one run.
+
+    Args:
+        spec: Fault intensities.
+        seed: Root seed; each category derives its own SplitMix64 child.
+        duration: Simulation horizon; events land in (0, duration).
+        links: ``(src, dst)`` directions eligible for flapping.
+        churn_route: ``(src, dst)`` route churned flows traverse.
+        burst_node: Injection node for bursts/malformed packets.
+        weight_unit_bps: Rate represented by one weight unit (joined
+            flows source at ``weight * weight_unit_bps``).
+        packet_size: Nominal packet size; malformed "oversize" packets
+            are a multiple of it.
+    """
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    events: List[Tuple[float, int, FaultEvent]] = []
+    order = 0
+
+    def push(ev: FaultEvent) -> None:
+        nonlocal order
+        events.append((ev.time, order, ev))
+        order += 1
+
+    # Link flaps: down + paired up (clamped inside the horizon so every
+    # downed link comes back — steady-state bias, not a dead topology).
+    if spec.flap_rate_hz > 0 and links:
+        rng = random.Random(child_seed(seed, _CATEGORY_INDEX["flap"]))
+        for t in _poisson_times(rng, spec.flap_rate_hz, duration):
+            src, dst = links[rng.randrange(len(links))]
+            hold = rng.expovariate(1.0 / spec.flap_down_s)
+            t_up = min(t + hold, duration * 0.999)
+            push(FaultEvent(t, "link_down", (("src", src), ("dst", dst))))
+            push(FaultEvent(t_up, "link_up", (("src", src), ("dst", dst))))
+
+    # Flow churn: join + paired leave, exercising the schedulers' dynamic
+    # add/remove paths (SRR weight-matrix k-order changes, DRR active-list
+    # surgery, WFQ heap removal) mid-round.
+    if spec.churn_rate_hz > 0 and churn_route is not None:
+        rng = random.Random(child_seed(seed, _CATEGORY_INDEX["churn"]))
+        src, dst = churn_route
+        for i, t in enumerate(
+            _poisson_times(rng, spec.churn_rate_hz, duration)
+        ):
+            weight = rng.randint(1, 2 ** spec.churn_max_weight_bits)
+            hold = rng.expovariate(1.0 / spec.churn_hold_s)
+            t_leave = min(t + hold, duration * 0.999)
+            flow = f"churn-{i}"
+            push(FaultEvent(
+                t, "flow_join",
+                (("flow", flow), ("src", src), ("dst", dst),
+                 ("weight", weight),
+                 ("rate_bps", weight * weight_unit_bps)),
+            ))
+            push(FaultEvent(t_leave, "flow_leave", (("flow", flow),)))
+
+    # Overload bursts: back-to-back packets on a best-effort fault flow.
+    if spec.burst_rate_hz > 0 and burst_node is not None:
+        rng = random.Random(child_seed(seed, _CATEGORY_INDEX["burst"]))
+        for t in _poisson_times(rng, spec.burst_rate_hz, duration):
+            push(FaultEvent(
+                t, "burst",
+                (("node", burst_node),
+                 ("count", spec.burst_packets),
+                 ("size", packet_size)),
+            ))
+
+    # Malformed packets: oversized (MTU violation) or unknown-flow.
+    if spec.malformed_rate_hz > 0 and burst_node is not None:
+        rng = random.Random(child_seed(seed, _CATEGORY_INDEX["malformed"]))
+        for t in _poisson_times(rng, spec.malformed_rate_hz, duration):
+            if rng.random() < 0.5:
+                push(FaultEvent(
+                    t, "malformed",
+                    (("node", burst_node), ("variant", "oversize"),
+                     ("size", packet_size * 8)),
+                ))
+            else:
+                push(FaultEvent(
+                    t, "malformed",
+                    (("node", burst_node), ("variant", "unknown_flow"),
+                     ("size", packet_size)),
+                ))
+
+    events.sort(key=lambda item: (item[0], item[1]))
+    return FaultPlan(
+        seed=seed, duration=duration,
+        events=tuple(ev for _, _, ev in events),
+    )

@@ -23,9 +23,17 @@ from .config import (
     build_config,
     resolve_params,
 )
+from .io import atomic_write_json, atomic_write_text, load_json_checked
 from .result import RunResult, environment_metadata
 from .run import run_config_for_spec, run_spec
-from .sweep import child_seed, spawn_seeds, sweep
+from .sweep import (
+    FailedRun,
+    SweepPointError,
+    child_seed,
+    spawn_seeds,
+    sweep,
+    task_hash,
+)
 from .artifacts import (
     artifact_path,
     benchmark_summary,
@@ -37,18 +45,24 @@ __all__ = [
     "SCALES",
     "ExperimentConfig",
     "ExperimentSpec",
+    "FailedRun",
     "RunContext",
     "RunResult",
+    "SweepPointError",
     "artifact_path",
+    "atomic_write_json",
+    "atomic_write_text",
     "benchmark_summary",
     "build_config",
     "child_seed",
     "environment_metadata",
     "load_artifact",
+    "load_json_checked",
     "resolve_params",
     "run_config_for_spec",
     "run_spec",
     "spawn_seeds",
     "sweep",
+    "task_hash",
     "write_artifact",
 ]

@@ -11,13 +11,16 @@ tooling can ingest harness runs directly.
 
 from __future__ import annotations
 
-import json
 import platform
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Union
 
+from .io import atomic_write_json, load_json_checked
 from .result import RunResult
+
+#: Schema tag stamped into (and validated from) run-result artifacts.
+RESULT_SCHEMA = "repro.harness/run-result/v1"
 
 __all__ = [
     "artifact_path",
@@ -76,16 +79,22 @@ def artifact_path(
 def write_artifact(
     result: RunResult, results_dir: Union[str, Path] = "results"
 ) -> Path:
-    """Persist one run; returns the path written."""
+    """Persist one run atomically; returns the path written.
+
+    Atomic (tmp + ``os.replace``) so a crash mid-write leaves no
+    truncated artifact behind for :func:`load_artifact` to choke on.
+    """
     path = artifact_path(result, results_dir)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = result.to_json_dict()
     payload["summary"] = benchmark_summary(result)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
-    return path
+    return atomic_write_json(path, payload)
 
 
 def load_artifact(path: Union[str, Path]) -> RunResult:
-    """Read an artifact back into a :class:`RunResult`."""
-    data = json.loads(Path(path).read_text())
+    """Read an artifact back into a :class:`RunResult`.
+
+    Raises :class:`~repro.core.errors.ArtifactError` (not a bare
+    ``JSONDecodeError``) on missing, truncated or wrong-schema files.
+    """
+    data = load_json_checked(path, schema=RESULT_SCHEMA)
     return RunResult.from_json_dict(data)

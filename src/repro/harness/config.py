@@ -14,12 +14,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import MISSING, dataclass, field, fields, is_dataclass
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.tables import records_table
 from ..core.errors import ConfigurationError
 from ..obs.metrics import MetricsRegistry
-from .sweep import child_seed, sweep
+from .sweep import FailedRun, child_seed, sweep
 
 __all__ = [
     "SCALES",
@@ -58,6 +59,12 @@ class ExperimentConfig:
     scale: str = "default"
     jobs: int = 1
     quiet: bool = True
+    #: Crash-tolerance knobs forwarded to :func:`repro.harness.sweep.sweep`
+    #: (all off by default; like ``jobs`` they cannot change results, only
+    #: whether a run survives a hung or crashing point).
+    timeout: Optional[float] = None
+    retries: int = 0
+    checkpoint_dir: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -67,6 +74,9 @@ class ExperimentConfig:
             "scale": self.scale,
             "jobs": self.jobs,
             "quiet": self.quiet,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "checkpoint_dir": self.checkpoint_dir,
             "params": _jsonable(dict(self.params)),
         }
 
@@ -78,6 +88,9 @@ class ExperimentConfig:
             scale=data.get("scale", "default"),
             jobs=data.get("jobs", 1),
             quiet=data.get("quiet", True),
+            timeout=data.get("timeout"),
+            retries=data.get("retries", 0),
+            checkpoint_dir=data.get("checkpoint_dir"),
             params=dict(data.get("params", {})),
         )
 
@@ -159,6 +172,9 @@ def build_config(
     scale: str = "default",
     jobs: int = 1,
     quiet: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    checkpoint_dir: Optional[str] = None,
     overrides: Optional[Mapping[str, Any]] = None,
 ) -> ExperimentConfig:
     """Resolve a full :class:`ExperimentConfig` for one run of ``spec``."""
@@ -168,6 +184,9 @@ def build_config(
         scale=scale,
         jobs=jobs,
         quiet=quiet,
+        timeout=timeout,
+        retries=retries,
+        checkpoint_dir=checkpoint_dir,
         params=resolve_params(spec, scale, overrides),
     )
 
@@ -180,13 +199,31 @@ class RunContext:
     the (possibly parallel) :meth:`sweep`.
     """
 
-    def __init__(self, seed: int = 1, jobs: int = 1, quiet: bool = True) -> None:
+    def __init__(
+        self,
+        seed: int = 1,
+        jobs: int = 1,
+        quiet: bool = True,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        checkpoint_dir: Optional[str] = None,
+    ) -> None:
         self.seed = seed
         self.jobs = jobs
         self.quiet = quiet
+        self.timeout = timeout
+        self.retries = retries
+        self.checkpoint_dir = checkpoint_dir
         self.points: List[Dict[str, Any]] = []
         self.tables: List[str] = []
         self.engine: Dict[str, float] = {}
+        #: Sweep points that exhausted their attempts (``FailedRun``
+        #: records): the run completes without them and their structured
+        #: failure records land in ``RunResult.failed``.
+        self.failed: List[Any] = []
+        #: Counts ``sweep()`` calls so each gets its own checkpoint
+        #: subdirectory (a body may sweep more than once).
+        self._sweep_calls = 0
         #: The run's metrics registry. Sweep points run in child
         #: processes, so bodies snapshot a per-point registry there and
         #: merge the snapshots here (:meth:`record_metrics`) in task
@@ -206,8 +243,46 @@ class RunContext:
     # -- sweeping ----------------------------------------------------------
 
     def sweep(self, fn: Callable, tasks: Sequence[Tuple]) -> List[Any]:
-        """Run ``fn`` over ``tasks`` honouring this run's ``jobs``."""
-        return sweep(fn, tasks, jobs=self.jobs)
+        """Run ``fn`` over ``tasks`` honouring this run's ``jobs`` and
+        crash-tolerance knobs.
+
+        With ``timeout``/``retries``/``checkpoint_dir`` active, points
+        that exhaust their attempts are collected on :attr:`failed` as
+        structured ``FailedRun`` records and only the successful results
+        are returned (still in task order) — one bad point no longer
+        aborts the run. With all knobs off this is the plain
+        zero-overhead sweep.
+        """
+        robust = (
+            self.timeout is not None
+            or self.retries > 0
+            or self.checkpoint_dir is not None
+        )
+        call_dir = None
+        if self.checkpoint_dir is not None:
+            call_dir = str(
+                Path(self.checkpoint_dir) / f"sweep-{self._sweep_calls}"
+            )
+        self._sweep_calls += 1
+        if not robust:
+            return sweep(fn, tasks, jobs=self.jobs, seed=self.seed)
+        results = sweep(
+            fn,
+            tasks,
+            jobs=self.jobs,
+            timeout=self.timeout,
+            retries=self.retries,
+            failures="collect",
+            seed=self.seed,
+            checkpoint_dir=call_dir,
+        )
+        kept = []
+        for outcome in results:
+            if isinstance(outcome, FailedRun):
+                self.failed.append(outcome)
+            else:
+                kept.append(outcome)
+        return kept
 
     # -- result collection -------------------------------------------------
 

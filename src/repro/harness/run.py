@@ -17,7 +17,14 @@ def run_config_for_spec(
 ) -> RunResult:
     """Run ``spec`` under a fully resolved ``config``."""
     params = spec.params_type(**dict(config.params))
-    ctx = RunContext(seed=config.seed, jobs=config.jobs, quiet=config.quiet)
+    ctx = RunContext(
+        seed=config.seed,
+        jobs=config.jobs,
+        quiet=config.quiet,
+        timeout=config.timeout,
+        retries=config.retries,
+        checkpoint_dir=config.checkpoint_dir,
+    )
     started = datetime.now(timezone.utc)
     t0 = time.perf_counter()
     metrics = spec.body(params, ctx)
@@ -30,6 +37,7 @@ def run_config_for_spec(
         tables=ctx.tables,
         engine=dict(ctx.engine),
         obs={"metrics": ctx.metrics.snapshot()},
+        failed=[f.to_json_dict() for f in ctx.failed],
         started_at=started.isoformat(),
         wall_time_s=wall,
         environment=environment_metadata(),
@@ -44,11 +52,15 @@ def run_spec(
     scale: str = "default",
     jobs: int = 1,
     quiet: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    checkpoint_dir: Optional[str] = None,
     overrides: Optional[Mapping[str, Any]] = None,
 ) -> RunResult:
     """Build the config for ``spec`` and run it in one call."""
     config = build_config(
         spec, seed=seed, scale=scale, jobs=jobs, quiet=quiet,
+        timeout=timeout, retries=retries, checkpoint_dir=checkpoint_dir,
         overrides=overrides,
     )
     return run_config_for_spec(spec, config)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from ..core.errors import UnknownFlowError
 from ..core.interfaces import PacketScheduler
 from ..core.packet import Packet
 from ..obs.metrics import DELAY_BUCKETS_S, MetricsRegistry
@@ -52,6 +53,7 @@ class OutputPort:
         peer: "object",
         name: str = "",
         buffer_packets: Optional[int] = None,
+        max_packet_bytes: Optional[int] = None,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -63,6 +65,11 @@ class OutputPort:
         #: Shared drop-tail buffer across all flows (None = unbounded;
         #: per-flow limits are the scheduler's max_queue).
         self.buffer_packets = buffer_packets
+        #: MTU enforcement (None = accept any size). Oversized packets —
+        #: the fault injector's malformed variant — are dropped at
+        #: ingress with reason ``"oversize"`` rather than poisoning the
+        #: scheduler's byte accounting.
+        self.max_packet_bytes = max_packet_bytes
         self.busy = False
         self.packets_in = 0
         self.packets_out = 0
@@ -81,34 +88,102 @@ class OutputPort:
         )
         self._tx_bytes = registry.counter("port_tx_bytes", port=name or "?")
         self._drop_count = registry.counter("port_drops", port=name or "?")
+        self._fault_malformed = registry.counter(
+            "fault_malformed_total", port=name or "?"
+        )
+        self._fault_unknown = registry.counter(
+            "fault_unknown_flow_total", port=name or "?"
+        )
+        self._fault_link = registry.counter(
+            "fault_link_transitions_total", port=name or "?"
+        )
+
+    def _drop(self, packet: Packet, reason: str) -> bool:
+        self.drops += 1
+        self._drop_count.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "drop", self.sim.now, port=self.name,
+                flow=packet.flow_id, uid=packet.uid, size=packet.size,
+                reason=reason,
+            )
+        return False
 
     def enqueue(self, packet: Packet) -> bool:
         """Accept ``packet`` for transmission; False when dropped."""
         packet.enqueued_at = self.sim.now
         self.packets_in += 1
         if (
+            self.max_packet_bytes is not None
+            and packet.size > self.max_packet_bytes
+        ):
+            self._fault_malformed.inc()
+            return self._drop(packet, "oversize")
+        if (
             self.buffer_packets is not None
             and self.scheduler.backlog >= self.buffer_packets
-        ) or not self.scheduler.enqueue(packet):
-            self.drops += 1
-            self._drop_count.inc()
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "drop", self.sim.now, port=self.name,
-                    flow=packet.flow_id, uid=packet.uid, size=packet.size,
-                )
-            return False
+        ):
+            return self._drop(packet, "buffer")
+        try:
+            accepted = self.scheduler.enqueue(packet)
+        except UnknownFlowError:
+            # A packet for a flow this port has never heard of (the fault
+            # injector's other malformed variant, or a race with flow
+            # teardown) must not crash the datapath.
+            self._fault_unknown.inc()
+            return self._drop(packet, "unknown_flow")
+        if not accepted:
+            return self._drop(packet, "queue_limit")
         if self.tracer is not None:
             self.tracer.emit(
                 "enqueue", self.sim.now, port=self.name,
                 flow=packet.flow_id, uid=packet.uid, size=packet.size,
                 backlog=self.scheduler.backlog,
             )
-        if not self.busy:
+        if not self.busy and self.link.up:
             self._transmit_next()
         return True
 
+    # -- fault injection: link availability ---------------------------------
+
+    def link_down(self, drop_queued: bool = False) -> int:
+        """Take the outgoing link down; returns packets dropped.
+
+        A packet already on the wire finishes serialising (the bits are
+        committed), but no new dequeue happens until :meth:`link_up`.
+        With ``drop_queued`` the whole queued backlog is drained through
+        the scheduler and dropped — the schedulers' own dequeue paths do
+        the state surgery, so flow accounting stays consistent.
+        """
+        if not self.link.up:
+            return 0
+        self.link.up = False
+        self._fault_link.inc()
+        dropped = 0
+        if drop_queued:
+            while True:
+                packet = self.scheduler.dequeue()
+                if packet is None:
+                    break
+                self._drop(packet, "link_down")
+                dropped += 1
+        return dropped
+
+    def link_up(self) -> None:
+        """Restore the link and restart the transmit loop if backlogged."""
+        if self.link.up:
+            return
+        self.link.up = True
+        self._fault_link.inc()
+        if not self.busy and self.scheduler.backlog > 0:
+            self._transmit_next()
+
     def _transmit_next(self) -> None:
+        if not self.link.up:
+            # Downed link: leave the backlog queued; link_up() restarts
+            # the loop.
+            self.busy = False
+            return
         tracer = self.tracer
         if tracer is None:
             packet = self.scheduler.dequeue()

@@ -203,38 +203,71 @@ class Network:
         path = shortest_path(self.adjacency, src, dst)
         ports: List[OutputPort] = []
         extra = flow_kwargs or {}
-        for here, nxt in zip(path, path[1:]):
-            port = self.nodes[here].ports[nxt]
-            port_weight = weight
-            if weight == 0 and not port.scheduler.supports_zero_weight:
-                # Best-effort class: schedulers without an explicit f0
-                # class carry the flow at minimal weight instead (work
-                # conservation hands it the residual bandwidth anyway).
-                port_weight = 1
-            try:
-                port.scheduler.add_flow(
-                    flow_id, port_weight, max_queue=max_queue, **extra
-                )
-            except TypeError:
-                # This port's discipline does not take the extra kwargs
-                # (e.g. class_id on a FIFO access port): register plainly.
-                port.scheduler.add_flow(
-                    flow_id, port_weight, max_queue=max_queue
-                )
-            ports.append(port)
+        try:
+            for here, nxt in zip(path, path[1:]):
+                port = self.nodes[here].ports[nxt]
+                port_weight = weight
+                if weight == 0 and not port.scheduler.supports_zero_weight:
+                    # Best-effort class: schedulers without an explicit f0
+                    # class carry the flow at minimal weight instead (work
+                    # conservation hands it the residual bandwidth anyway).
+                    port_weight = 1
+                try:
+                    port.scheduler.add_flow(
+                        flow_id, port_weight, max_queue=max_queue, **extra
+                    )
+                except TypeError:
+                    # This port's discipline does not take the extra
+                    # kwargs (e.g. class_id on a FIFO access port):
+                    # register plainly.
+                    port.scheduler.add_flow(
+                        flow_id, port_weight, max_queue=max_queue
+                    )
+                ports.append(port)
+        except Exception:
+            # Roll back the partial install: a flow rejected at port k
+            # must not stay registered at ports 0..k-1, or a later
+            # re-add/release would leak or double-count state there.
+            for port in ports:
+                if port.scheduler.has_flow(flow_id):
+                    port.scheduler.remove_flow(flow_id)
+            raise
         spec = FlowSpec(flow_id, src, dst, weight, path, ports)
         self.flows[flow_id] = spec
         self._seq[flow_id] = 0
         return spec
 
     def remove_flow(self, flow_id: Hashable) -> None:
-        """Tear a flow's state out of every port on its path."""
+        """Tear a flow's state out of every port on its path.
+
+        Attached sources are stopped first so a removed flow cannot keep
+        injecting packets that every downstream port would then reject as
+        unknown.
+        """
         spec = self.flows.pop(flow_id, None)
         if spec is None:
             raise ConfigurationError(f"unknown flow {flow_id!r}")
+        for source in spec.sources:
+            if hasattr(source, "stop_at"):
+                source.stop_at = self.sim.now
         for port in spec.ports:
             if port.scheduler.has_flow(flow_id):
                 port.scheduler.remove_flow(flow_id)
+
+    # -- fault injection ----------------------------------------------------
+
+    def set_link_state(
+        self, a: str, b: str, *, up: bool, drop_queued: bool = False
+    ) -> int:
+        """Take the ``a -> b`` direction down or back up.
+
+        Returns packets dropped (nonzero only for down + ``drop_queued``).
+        """
+        port = self.port(a, b)
+        if up:
+            port.link_up()
+            return 0
+        return port.link_down(drop_queued=drop_queued)
 
     def attach_source(
         self,

@@ -36,7 +36,11 @@ __all__ = [
 ]
 
 #: The typed event vocabulary (meta events like ``sim_event`` ride along).
-EVENT_KINDS = ("enqueue", "dequeue", "transmit", "drop", "sched_decision")
+#: ``fault`` records an injected fault firing (link flap, churn, burst,
+#: malformed packet) from :mod:`repro.faults`.
+EVENT_KINDS = (
+    "enqueue", "dequeue", "transmit", "drop", "sched_decision", "fault",
+)
 
 
 class Tracer:
@@ -119,10 +123,15 @@ class Tracer:
 
         ``dest`` is a path or an open text file. Keys keep emission
         order (``t``/``kind`` first), values are plain JSON scalars.
+        Path destinations are written atomically (tmp + ``os.replace``)
+        so a killed run never leaves a truncated trace file behind.
         """
         if isinstance(dest, str):
-            with open(dest, "w") as fh:
-                return self.write_jsonl(fh)
+            from ..harness.io import atomic_write_text
+
+            lines = [json.dumps(event) for event in self._events]
+            atomic_write_text(dest, "\n".join(lines) + "\n" if lines else "")
+            return len(lines)
         n = 0
         for event in self._events:
             dest.write(json.dumps(event) + "\n")
@@ -131,11 +140,31 @@ class Tracer:
 
     @staticmethod
     def read_jsonl(source: Union[str, TextIO]) -> List[Dict[str, Any]]:
-        """Load events previously written by :meth:`write_jsonl`."""
+        """Load events previously written by :meth:`write_jsonl`.
+
+        Tolerates a truncated *final* line (the signature of a process
+        killed mid-append when the file was written incrementally) by
+        dropping it; garbage anywhere earlier raises a structured
+        :class:`~repro.core.errors.ArtifactError` rather than leaking a
+        bare ``JSONDecodeError``.
+        """
         if isinstance(source, str):
             with open(source) as fh:
                 return Tracer.read_jsonl(fh)
-        return [json.loads(line) for line in source if line.strip()]
+        from ..core.errors import ArtifactError
+
+        lines = [line for line in source if line.strip()]
+        events: List[Dict[str, Any]] = []
+        for i, line in enumerate(lines):
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if i == len(lines) - 1:
+                    break  # truncated tail from a killed writer: drop it
+                raise ArtifactError(
+                    f"trace line {i + 1} is not valid JSON: {exc}"
+                ) from exc
+        return events
 
     def __repr__(self) -> str:
         return (

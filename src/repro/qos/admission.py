@@ -190,18 +190,45 @@ class AdmissionController:
         self.reservations[flow_id] = reservation
         return reservation
 
-    def release(self, flow_id: Hashable) -> None:
-        """Tear down a reservation (the paper's signalling-protocol exit)."""
+    def release(self, flow_id: Hashable, *, strict: bool = False) -> bool:
+        """Tear down a reservation (the paper's signalling-protocol exit).
+
+        Idempotent: releasing an unknown or already-released flow is a
+        no-op returning False (pass ``strict=True`` for the old raising
+        behaviour). The reservation record is popped *first*, so even if
+        teardown fails partway, a second release cannot subtract the
+        bandwidth again. Links that vanished since admission (mid-path
+        failure, reconfiguration) are skipped rather than KeyError-ing,
+        and per-link accounting snaps to exactly 0 when the last
+        reservation leaves, so repeated admit/release cycles cannot
+        accumulate float drift into a phantom reservation.
+        """
         reservation = self.reservations.pop(flow_id, None)
         if reservation is None:
-            raise ConfigurationError(f"no reservation for {flow_id!r}")
+            if strict:
+                raise ConfigurationError(f"no reservation for {flow_id!r}")
+            return False
         path = reservation.path
         for a, b in zip(path, path[1:]):
-            port = self.network.nodes[a].ports[b]
-            self._reserved[id(port)] = max(
+            node = self.network.nodes.get(a)
+            port = node.ports.get(b) if node is not None else None
+            if port is None:
+                continue  # link torn down since admission
+            remaining = max(
                 0.0, self._reserved.get(id(port), 0.0) - reservation.rate_bps
             )
-        self.network.remove_flow(flow_id)
+            if remaining <= 1e-9:
+                self._reserved.pop(id(port), None)
+            else:
+                self._reserved[id(port)] = remaining
+        try:
+            self.network.remove_flow(flow_id)
+        except ConfigurationError:
+            # The data-plane flow was already gone (e.g. torn down
+            # directly on the network); the control-plane release still
+            # succeeded.
+            pass
+        return True
 
     def reserved_bps(self, src: str, dst: str) -> float:
         """Reserved bandwidth on the ``src -> dst`` link direction."""

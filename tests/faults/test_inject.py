@@ -1,0 +1,157 @@
+"""FaultInjector behaviour against a live network (repro.faults.inject)."""
+
+import pytest
+
+from repro.core import ReproError
+from repro.faults import (
+    FAULT_FLOW,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    build_fault_plan,
+)
+from repro.net import CBRSource, Network
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_net(scheduler="srr", **kw):
+    net = Network(default_scheduler=scheduler, default_scheduler_kwargs=kw)
+    for n in ("a", "r", "b"):
+        net.add_node(n)
+    net.add_link("a", "r", rate_bps=10e6, delay=0.0001)
+    net.add_link("r", "b", rate_bps=1e6, delay=0.0001)
+    net.add_flow("f1", "a", "b", weight=1)
+    net.attach_source("f1", CBRSource(200_000, packet_size=200))
+    return net
+
+
+def plan_of(*events):
+    return FaultPlan(seed=0, duration=1.0, events=tuple(events))
+
+
+class TestFiring:
+    def test_link_flap_parks_then_resumes(self):
+        net = make_net()
+        inj = FaultInjector(net, plan_of(
+            FaultEvent(0.2, "link_down", (("src", "r"), ("dst", "b"))),
+            FaultEvent(0.4, "link_up", (("src", "r"), ("dst", "b"))),
+        ))
+        assert inj.install() == 2
+        net.run(until=1.0)
+        assert [kind for _, kind in inj.fired] == ["link_down", "link_up"]
+        # Parked traffic drains after the link returns.
+        record = net.sinks.flow("f1")
+        assert any(r.delivered_at > 0.4 for r in record.records)
+
+    def test_flow_churn_installs_and_removes(self):
+        net = make_net()
+        inj = FaultInjector(net, plan_of(
+            FaultEvent(0.1, "flow_join",
+                       (("flow", "churn-0"), ("src", "a"), ("dst", "b"),
+                        ("weight", 2), ("rate_bps", 100_000))),
+            FaultEvent(0.6, "flow_leave", (("flow", "churn-0"),)),
+        ))
+        inj.install()
+        net.run(until=1.0)
+        assert [kind for _, kind in inj.fired] == ["flow_join", "flow_leave"]
+        assert "churn-0" not in net.flows
+        assert not net.port("r", "b").scheduler.has_flow("churn-0")
+        # The churned flow actually moved traffic while alive.
+        assert net.sinks.flow("churn-0").packets > 0
+
+    def test_leave_without_join_is_skipped_not_fatal(self):
+        net = make_net()
+        inj = FaultInjector(net, plan_of(
+            FaultEvent(0.1, "flow_leave", (("flow", "nope"),)),
+        ))
+        inj.install()
+        net.run(until=0.5)
+        assert inj.fired == [(0.1, "flow_leave:skipped")]
+
+    def test_burst_and_malformed_need_fault_route(self):
+        net = make_net()
+        inj = FaultInjector(net, plan_of(
+            FaultEvent(0.1, "burst", (("node", "a"), ("count", 4))),
+        ))
+        with pytest.raises(ReproError):
+            inj.install()
+
+    def test_burst_traffic_flows_on_carrier(self):
+        net = make_net()
+        inj = FaultInjector(
+            net,
+            plan_of(FaultEvent(
+                0.1, "burst",
+                (("node", "a"), ("count", 8), ("size", 200)),
+            )),
+            fault_route=("a", "b"),
+        )
+        inj.install()
+        net.run(until=1.0)
+        assert net.sinks.flow(FAULT_FLOW).packets > 0
+
+    def test_malformed_oversize_dropped_at_port(self):
+        net = make_net()
+        net.port("r", "b").max_packet_bytes = 500
+        registry = MetricsRegistry()
+        inj = FaultInjector(
+            net,
+            plan_of(FaultEvent(
+                0.1, "malformed",
+                (("node", "r"), ("variant", "oversize"), ("size", 1600)),
+            )),
+            fault_route=("a", "b"),
+            registry=registry,
+        )
+        inj.install()
+        net.run(until=0.5)
+        assert registry.counter("fault_malformed_total").value == 1
+        # The oversize packet never reached the sink.
+        sizes = [r.size for r in net.sinks.flow(FAULT_FLOW).records]
+        assert 1600 not in sizes
+
+    def test_malformed_unknown_flow_dropped_not_crash(self):
+        net = make_net()
+        inj = FaultInjector(
+            net,
+            plan_of(FaultEvent(
+                0.1, "malformed",
+                (("node", "a"), ("variant", "unknown_flow"), ("size", 200)),
+            )),
+            fault_route=("a", "b"),
+        )
+        inj.install()
+        net.run(until=0.5)  # must not raise UnknownFlowError
+        assert [kind for _, kind in inj.fired] == ["malformed"]
+
+    def test_install_is_idempotent(self):
+        net = make_net()
+        inj = FaultInjector(net, plan_of(
+            FaultEvent(0.2, "link_down", (("src", "r"), ("dst", "b"))),
+        ))
+        assert inj.install() == 1
+        assert inj.install() == 0
+        net.run(until=0.5)
+        assert len(inj.fired) == 1
+
+
+class TestEndToEnd:
+    def test_full_plan_replay_is_deterministic(self):
+        spec = FaultSpec(
+            churn_rate_hz=3.0, flap_rate_hz=2.0,
+            burst_rate_hz=2.0, malformed_rate_hz=2.0,
+        )
+
+        def run_once():
+            net = make_net()
+            plan = build_fault_plan(
+                spec, seed=11, duration=2.0,
+                links=[("r", "b")], churn_route=("a", "b"), burst_node="a",
+            )
+            inj = FaultInjector(net, plan, fault_route=("a", "b"))
+            inj.install()
+            net.run(until=2.0)
+            return plan.signature(), inj.fired, net.sinks.flow("f1").packets
+
+        assert run_once() == run_once()

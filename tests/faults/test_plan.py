@@ -1,0 +1,107 @@
+"""Determinism and structure of seeded fault plans (repro.faults.plan)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.faults import FaultPlan, FaultSpec, build_fault_plan
+from repro.harness import sweep
+
+FULL_SPEC = FaultSpec(
+    churn_rate_hz=2.0,
+    flap_rate_hz=1.0,
+    burst_rate_hz=1.0,
+    malformed_rate_hz=1.0,
+)
+LINKS = [("r1", "r2"), ("r2", "b")]
+
+
+def build(seed=7, spec=FULL_SPEC, duration=5.0):
+    return build_fault_plan(
+        spec, seed=seed, duration=duration, links=LINKS,
+        churn_route=("a", "b"), burst_node="a",
+    )
+
+
+def plan_signature(seed):
+    """Module-level so sweep() can pickle it into pool workers."""
+    return build(seed=seed).signature()
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        a, b = build(seed=7), build(seed=7)
+        assert a.events == b.events
+        assert a.to_json_dict() == b.to_json_dict()
+        assert a.signature() == b.signature()
+
+    def test_different_seed_different_plan(self):
+        assert build(seed=7).signature() != build(seed=8).signature()
+
+    def test_plan_survives_process_boundary(self):
+        """--jobs N workers derive bit-identical schedules to serial."""
+        seeds = [1, 2, 3, 4]
+        serial = [plan_signature(s) for s in seeds]
+        pooled = sweep(plan_signature, [(s,) for s in seeds], jobs=2)
+        assert pooled == serial
+
+    def test_categories_are_independent(self):
+        """Enabling bursts must not perturb the flap schedule."""
+        flap_only = build(spec=FaultSpec(flap_rate_hz=1.0))
+        combined = build(spec=FaultSpec(flap_rate_hz=1.0, burst_rate_hz=5.0))
+        flaps = lambda p: [
+            ev for ev in p.events if ev.kind in ("link_down", "link_up")
+        ]
+        assert flaps(flap_only) == flaps(combined)
+
+    def test_roundtrip_preserves_signature(self):
+        plan = build()
+        clone = FaultPlan.from_json_dict(plan.to_json_dict())
+        assert clone.signature() == plan.signature()
+
+
+class TestStructure:
+    def test_events_time_sorted_within_horizon(self):
+        plan = build()
+        times = [ev.time for ev in plan.events]
+        assert times == sorted(times)
+        assert all(0 < t < plan.duration for t in times)
+
+    def test_every_down_has_a_paired_up(self):
+        counts = build().counts()
+        assert counts.get("link_down", 0) == counts.get("link_up", 0)
+        assert counts.get("flow_join", 0) == counts.get("flow_leave", 0)
+
+    def test_join_carries_route_and_rate(self):
+        plan = build()
+        joins = [ev for ev in plan.events if ev.kind == "flow_join"]
+        assert joins
+        for ev in joins:
+            assert ev.arg("src") == "a" and ev.arg("dst") == "b"
+            assert ev.arg("weight") >= 1
+            assert ev.arg("rate_bps") == ev.arg("weight") * 16_000
+
+    def test_intensity_zero_is_the_empty_plan(self):
+        plan = build(spec=FULL_SPEC.scaled(0.0))
+        assert plan.events == ()
+        # The constant every fault-free e13 point shares.
+        assert plan.signature() == "4f53cda18c2baa0c"
+
+    def test_intensity_scales_event_volume(self):
+        lo = len(build(spec=FULL_SPEC.scaled(1.0), duration=20.0).events)
+        hi = len(build(spec=FULL_SPEC.scaled(8.0), duration=20.0).events)
+        assert hi > lo
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FULL_SPEC.scaled(-1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build(duration=0.0)
+
+    def test_missing_targets_disable_categories(self):
+        plan = build_fault_plan(
+            FULL_SPEC, seed=7, duration=5.0, links=(),
+            churn_route=None, burst_node=None,
+        )
+        assert plan.events == ()

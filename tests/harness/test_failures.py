@@ -1,0 +1,260 @@
+"""Crash tolerance of the sweep engine: timeouts, retries, FailedRun
+records, checkpoint/resume, and atomic artifact IO."""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.core.errors import ArtifactError
+from repro.harness import (
+    FailedRun,
+    SweepPointError,
+    atomic_write_json,
+    atomic_write_text,
+    load_json_checked,
+    sweep,
+    task_hash,
+)
+from repro.harness.sweep import child_seed
+
+
+# Module-level workers so the process engine can address them.
+
+def double(x):
+    return x * 2
+
+
+def boom(x):
+    if x == 13:
+        raise ValueError(f"bad point {x}")
+    return x * 2
+
+
+def hang_or_boom(x):
+    if x == 1:
+        raise ValueError("raising point")
+    if x == 2:
+        time.sleep(60)  # hung point, reaped by the timeout
+    return x * 2
+
+
+def always_fails(x):
+    raise RuntimeError(f"attempt on {x}")
+
+
+def unpicklable_result(x):
+    return lambda: x  # fine inline, never checkpointable
+
+
+def touch_and_maybe_fail(x, workdir):
+    """Leaves one marker file per invocation; fails while the flag exists."""
+    marker = Path(workdir) / f"ran-{x}-{os.getpid()}-{time.monotonic_ns()}"
+    marker.write_text("x")
+    if x == 1 and (Path(workdir) / "flag").exists():
+        raise ValueError("failing while flagged")
+    return x * 2
+
+
+def invocations(workdir):
+    return len(list(Path(workdir).glob("ran-*")))
+
+
+class TestFailureReporting:
+    def test_fast_path_wraps_with_context(self):
+        tasks = [(7,), (13,), (21,)]
+        with pytest.raises(SweepPointError) as info:
+            sweep(boom, tasks, seed=5)
+        err = info.value
+        assert err.index == 1
+        assert err.config_hash == task_hash(boom, (13,))
+        assert err.child_seed is not None
+        assert "bad point 13" in str(err)
+        assert "(13,)" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_collect_returns_failed_run_in_place(self):
+        results = sweep(boom, [(7,), (13,), (21,)], failures="collect")
+        assert results[0] == 14 and results[2] == 42
+        failure = results[1]
+        assert isinstance(failure, FailedRun)
+        assert failure.index == 1
+        assert failure.error_type == "ValueError"
+        assert not failure.timed_out
+        assert failure.config_hash == task_hash(boom, (13,))
+
+    def test_retries_record_every_attempt_seed(self):
+        results = sweep(
+            always_fails, [(0,)], retries=2, failures="collect", seed=9
+        )
+        failure = results[0]
+        assert failure.attempts == 3
+        point_seed = child_seed(9, 0)
+        assert failure.child_seeds == [
+            child_seed(point_seed, a) for a in range(3)
+        ]
+        assert len(set(failure.child_seeds)) == 3
+        assert len(failure.history) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sweep(double, [(1,)], failures="explode")
+        with pytest.raises(ConfigurationError):
+            sweep(double, [(1,)], retries=-1)
+        with pytest.raises(ConfigurationError):
+            sweep(double, [(1,)], timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            sweep(double, [(1,)], jobs=-2)
+
+
+class TestTimeoutEngine:
+    def test_hung_and_raising_points_do_not_wedge_the_sweep(self):
+        start = time.monotonic()
+        results = sweep(
+            hang_or_boom, [(0,), (1,), (2,), (3,)],
+            jobs=2, timeout=1.0, retries=0, failures="collect",
+        )
+        assert time.monotonic() - start < 30
+        assert results[0] == 0 and results[3] == 6
+        raised, hung = results[1], results[2]
+        assert isinstance(raised, FailedRun)
+        assert raised.error_type == "ValueError" and not raised.timed_out
+        assert isinstance(hung, FailedRun)
+        assert hung.timed_out and hung.error_type == "TimeoutError"
+
+    def test_timeout_retries_are_counted(self):
+        results = sweep(
+            hang_or_boom, [(2,)], timeout=0.5, retries=1, failures="collect",
+        )
+        failure = results[0]
+        assert failure.timed_out
+        assert failure.attempts == 2
+        assert len(failure.child_seeds) == 2
+
+    def test_raise_mode_still_raises_after_isolation(self):
+        with pytest.raises(SweepPointError) as info:
+            sweep(hang_or_boom, [(0,), (2,)], jobs=2, timeout=0.5)
+        assert info.value.failure.timed_out
+
+
+class TestCheckpointResume:
+    def test_checkpoints_written_and_reused(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        work = tmp_path / "work"
+        work.mkdir()
+        tasks = [(i, str(work)) for i in range(3)]
+        first = sweep(
+            touch_and_maybe_fail, tasks, checkpoint_dir=str(ckpt),
+            failures="collect",
+        )
+        assert first == [0, 2, 4]
+        assert sorted(p.name for p in ckpt.iterdir()) == [
+            "point-00000.json", "point-00001.json", "point-00002.json",
+        ]
+        assert invocations(work) == 3
+        second = sweep(
+            touch_and_maybe_fail, tasks, checkpoint_dir=str(ckpt),
+            failures="collect",
+        )
+        assert second == first
+        assert invocations(work) == 3  # nothing re-ran
+
+    def test_resume_reruns_only_failed_points(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        work = tmp_path / "work"
+        work.mkdir()
+        (work / "flag").touch()
+        tasks = [(i, str(work)) for i in range(3)]
+        first = sweep(
+            touch_and_maybe_fail, tasks, checkpoint_dir=str(ckpt),
+            failures="collect",
+        )
+        assert isinstance(first[1], FailedRun)
+        assert invocations(work) == 3
+        failed_ckpt = json.loads((ckpt / "point-00001.json").read_text())
+        assert failed_ckpt["status"] == "failed"
+        assert failed_ckpt["failure"]["schema"] == FailedRun.SCHEMA
+        # Fix the environment; resuming re-runs just the failed point.
+        (work / "flag").unlink()
+        second = sweep(
+            touch_and_maybe_fail, tasks, checkpoint_dir=str(ckpt),
+            failures="collect",
+        )
+        assert second == [0, 2, 4]
+        assert invocations(work) == 4
+
+    def test_corrupt_checkpoint_reruns_point(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        work = tmp_path / "work"
+        work.mkdir()
+        tasks = [(i, str(work)) for i in range(2)]
+        sweep(touch_and_maybe_fail, tasks, checkpoint_dir=str(ckpt))
+        (ckpt / "point-00000.json").write_text('{"schema": "repro.h')
+        results = sweep(
+            touch_and_maybe_fail, tasks, checkpoint_dir=str(ckpt)
+        )
+        assert results == [0, 2]
+        assert invocations(work) == 3  # point 0 re-ran, point 1 skipped
+
+    def test_changed_task_invalidates_checkpoint(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        work = tmp_path / "work"
+        work.mkdir()
+        sweep(
+            touch_and_maybe_fail, [(5, str(work))], checkpoint_dir=str(ckpt)
+        )
+        results = sweep(
+            touch_and_maybe_fail, [(6, str(work))], checkpoint_dir=str(ckpt)
+        )
+        assert results == [12]
+        assert invocations(work) == 2
+
+    def test_unserialisable_result_returned_but_not_checkpointed(
+        self, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        results = sweep(
+            unpicklable_result, [(1,)], checkpoint_dir=str(ckpt),
+        )
+        assert results[0]() == 1
+        # The point is simply not resumable; no corrupt half-file remains.
+        assert not (ckpt / "point-00000.json").exists()
+
+
+class TestAtomicIO:
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_atomic_write_failure_cleans_up(self, tmp_path):
+        path = tmp_path / "out.json"
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"a": object()})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_load_rejects_truncated_json(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        atomic_write_text(path, '{"schema": "x", "results": {"a"')
+        with pytest.raises(ArtifactError):
+            load_json_checked(path)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        atomic_write_json(path, {"schema": "somebody/else/v9"})
+        with pytest.raises(ArtifactError):
+            load_json_checked(path, schema="repro.harness/run-result/v1")
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_json_checked(tmp_path / "never-written.json")
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        atomic_write_text(path, "[1, 2, 3]\n")
+        with pytest.raises(ArtifactError):
+            load_json_checked(path)

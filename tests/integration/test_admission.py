@@ -48,10 +48,39 @@ class TestAdmission:
         assert cac.reserved_bps("r1", "r2") == 0
         cac.request("f2", "a", "b", 900_000)  # fits again
 
-    def test_release_unknown_raises(self):
+    def test_release_is_idempotent(self):
+        cac = AdmissionController(make_net())
+        cac.request("f1", "a", "b", 100_000)
+        assert cac.release("f1") is True
+        assert cac.release("f1") is False  # second release is a no-op
+        assert cac.release("ghost") is False
+
+    def test_release_strict_raises_on_unknown(self):
         cac = AdmissionController(make_net())
         with pytest.raises(ConfigurationError):
-            cac.release("ghost")
+            cac.release("ghost", strict=True)
+
+    def test_release_survives_lost_path_node(self):
+        """Teardown must free reserved bandwidth even if part of the
+        reserved path has vanished (e.g. torn down out of band)."""
+        net = make_net()
+        cac = AdmissionController(net)
+        cac.request("f1", "a", "b", 400_000)
+        net.port("r1", "r2").scheduler.remove_flow("f1")
+        del net.nodes["r1"].ports["r2"]
+        assert cac.release("f1") is True
+        assert "f1" not in cac.reservations
+        assert cac.reserved_bps("r2", "b") == 0
+
+    def test_release_leaves_no_phantom_reservation(self):
+        """Repeated admit/release cycles must not accumulate float-drift
+        phantom reservations that eventually reject valid requests."""
+        cac = AdmissionController(make_net())
+        for i in range(50):
+            cac.request(f"f{i}", "a", "b", 1e6 / 3)
+            cac.release(f"f{i}")
+        assert cac.reserved_bps("r1", "r2") == 0
+        cac.request("final", "a", "b", 900_000)  # full capacity again
 
     def test_duplicate_reservation_rejected(self):
         cac = AdmissionController(make_net())

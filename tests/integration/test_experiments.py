@@ -93,9 +93,21 @@ class TestExperimentFunctions:
         )
         assert result["g3"]["total_ms"] < result["srr"]["total_ms"]
 
+    def test_e13(self):
+        result = run_experiment(
+            "e13", schedulers=("srr",), intensities=(0.0, 4.0),
+            duration=1.0, n_flows=4, check_invariants=True, quiet=True,
+        )
+        assert result["violations_total"] == 0
+        assert result["checks_total"] > 0
+        assert result["srr"][4.0]["faults_fired"] > 0
+        # Intensity 0 runs a fault-free baseline.
+        assert result["srr"][0.0]["faults_fired"] == 0
+        assert 0 < result["srr"][0.0]["jain"] <= 1.0
+
     def test_registry_complete(self):
         assert sorted(EXPERIMENTS) == sorted(
-            f"e{i}" for i in range(1, 13)
+            f"e{i}" for i in range(1, 14)
         )
 
 

@@ -73,6 +73,32 @@ class TestJsonl:
             events = Tracer.read_jsonl(fh)
         assert events == [{"t": 0.0, "kind": "drop"}]
 
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        """A crash mid-write loses at most the last event, not the file."""
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t": 0.0, "kind": "drop"}\n{"t": 0.5, "kind": "deq'
+        )
+        assert Tracer.read_jsonl(str(path)) == [{"t": 0.0, "kind": "drop"}]
+
+    def test_mid_file_garbage_raises_artifact_error(self, tmp_path):
+        from repro.core.errors import ArtifactError
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t": 0.0, "kind": "drop"}\nnot json\n{"t": 1.0, "kind": "drop"}\n'
+        )
+        with pytest.raises(ArtifactError) as info:
+            Tracer.read_jsonl(str(path))
+        assert "line 2" in str(info.value)
+
+    def test_write_is_atomic(self, tmp_path):
+        tr = Tracer()
+        tr.emit("enqueue", 0.25, port="p", flow="f1")
+        path = tmp_path / "trace.jsonl"
+        tr.write_jsonl(str(path))
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+
 
 class TestEngineHook:
     def test_records_slow_callbacks(self):
