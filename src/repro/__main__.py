@@ -26,9 +26,14 @@ def main() -> int:
     print("(metrics in artifacts; --trace PATH on repro.bench for "
           "packet-lifecycle JSONL)")
     print()
+    print("performance: python -m repro.perf [--quick] "
+          "[--baseline BENCH_runtime.json]")
+    print("(event-loop/scheduler/end-to-end benches; --engine "
+          "heap|calendar on repro.bench)")
+    print()
     print("examples: see examples/*.py; docs: README.md, DESIGN.md,")
     print("EXPERIMENTS.md, docs/algorithms.md, docs/simulator.md,")
-    print("docs/observability.md, docs/api.md")
+    print("docs/observability.md, docs/performance.md, docs/api.md")
     return 0
 
 

@@ -68,6 +68,7 @@ def run_config(
     timeout: Optional[float] = None,
     retries: int = 0,
     checkpoint_dir: Optional[str] = None,
+    engine: Optional[str] = None,
     overrides: Optional[Mapping[str, Any]] = None,
 ) -> RunResult:
     """Run one experiment through the harness; return the full RunResult."""
@@ -80,7 +81,7 @@ def run_config(
     config = build_config(
         spec, seed=seed, scale=scale, jobs=jobs, quiet=quiet,
         timeout=timeout, retries=retries, checkpoint_dir=checkpoint_dir,
-        overrides=overrides,
+        engine=engine, overrides=overrides,
     )
     return run_config_for_spec(spec, config)
 
@@ -135,6 +136,12 @@ def main(argv: List[str] = None) -> int:
         "--jobs", type=int, default=1,
         help="process-pool fan-out for sweeps; results are bit-identical "
              "to --jobs 1 (default 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--engine", choices=("heap", "calendar"), default=None,
+        help="event-queue backend for every Simulator in the run "
+             "(default: REPRO_ENGINE env var, else calendar); results "
+             "are bit-identical across backends — only wall time differs",
     )
     parser.add_argument(
         "--set", dest="overrides", action="append", default=[],
@@ -240,6 +247,7 @@ def main(argv: List[str] = None) -> int:
                 timeout=args.timeout,
                 retries=args.retries,
                 checkpoint_dir=checkpoint_dir,
+                engine=args.engine,
                 overrides=overrides if args.experiment != "all" else {
                     k: v for k, v in overrides.items()
                     if k in SPECS[name].param_names()

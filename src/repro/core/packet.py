@@ -17,7 +17,7 @@ from typing import Hashable, Optional
 _uid_counter = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A single packet.
 

@@ -38,7 +38,7 @@ Key properties (all unit/property-tested):
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 from .errors import ConfigurationError
 
@@ -112,9 +112,33 @@ def iter_wss(order: int) -> Iterator[int]:
         yield _trailing_zeros(i) + 1
 
 
+#: Shared materialised sequences keyed by order. The sequence is a pure
+#: function of the order, and every SRR instance (plus the E9 ablation)
+#: wants the same tables, so one process-wide copy suffices. Entries are
+#: treated as immutable by all internal consumers; bounded in practice by
+#: the order-26 materialisation cap below.
+_SEQUENCE_CACHE: Dict[int, List[int]] = {}
+
+
+def _materialized(order: int) -> List[int]:
+    """The shared (do-not-mutate) materialised ``WSS^order``."""
+    seq = _SEQUENCE_CACHE.get(order)
+    if seq is None:
+        _check_order(order)
+        _SEQUENCE_CACHE[order] = seq = [
+            _trailing_zeros(i) + 1 for i in range(1, 1 << order)
+        ]
+    return seq
+
+
 def wss_sequence(order: int) -> List[int]:
-    """Materialise ``WSS^order`` as a list (length ``2^order - 1``)."""
-    return list(iter_wss(order))
+    """Materialise ``WSS^order`` as a list (length ``2^order - 1``).
+
+    Returns a fresh copy (callers may mutate); the underlying table is
+    memoised per order, so repeated materialisations are a single
+    C-level list copy.
+    """
+    return list(_materialized(order))
 
 
 def wss_sequence_recursive(order: int) -> List[int]:
@@ -215,7 +239,7 @@ class MaterializedWSS:
                 f"({(1 << order) - 1} entries); use FoldedWSS or WSSCursor"
             )
         self.order = order
-        self._seq = wss_sequence(order)
+        self._seq = _materialized(order)
 
     def term(self, position: int) -> int:
         """Term at 1-based ``position``."""
@@ -265,7 +289,7 @@ class FoldedWSS:
             )
         self.order = order
         self.stored_order = stored_order
-        self._seq = wss_sequence(stored_order)
+        self._seq = _materialized(stored_order)
 
     def term(self, position: int) -> int:
         """Term of ``WSS^order`` at 1-based ``position``, from the folded table."""

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.tables import records_table
 from ..core.errors import ConfigurationError
+from ..net.eventq import QUEUE_KINDS
 from ..obs.metrics import MetricsRegistry
 from .sweep import FailedRun, child_seed, sweep
 
@@ -65,6 +66,11 @@ class ExperimentConfig:
     timeout: Optional[float] = None
     retries: int = 0
     checkpoint_dir: Optional[str] = None
+    #: Event-queue backend for every Simulator in the run (``"heap"`` /
+    #: ``"calendar"``); ``None`` leaves the process default in place.
+    #: Like ``jobs``, this cannot change results — only wall time — so
+    #: the stable result form excludes it.
+    engine: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -77,6 +83,7 @@ class ExperimentConfig:
             "timeout": self.timeout,
             "retries": self.retries,
             "checkpoint_dir": self.checkpoint_dir,
+            "engine": self.engine,
             "params": _jsonable(dict(self.params)),
         }
 
@@ -91,6 +98,7 @@ class ExperimentConfig:
             timeout=data.get("timeout"),
             retries=data.get("retries", 0),
             checkpoint_dir=data.get("checkpoint_dir"),
+            engine=data.get("engine"),
             params=dict(data.get("params", {})),
         )
 
@@ -175,9 +183,14 @@ def build_config(
     timeout: Optional[float] = None,
     retries: int = 0,
     checkpoint_dir: Optional[str] = None,
+    engine: Optional[str] = None,
     overrides: Optional[Mapping[str, Any]] = None,
 ) -> ExperimentConfig:
     """Resolve a full :class:`ExperimentConfig` for one run of ``spec``."""
+    if engine is not None and engine not in QUEUE_KINDS:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {sorted(QUEUE_KINDS)}"
+        )
     return ExperimentConfig(
         experiment=spec.eid,
         seed=seed,
@@ -187,6 +200,7 @@ def build_config(
         timeout=timeout,
         retries=retries,
         checkpoint_dir=checkpoint_dir,
+        engine=engine,
         params=resolve_params(spec, scale, overrides),
     )
 
@@ -216,7 +230,7 @@ class RunContext:
         self.checkpoint_dir = checkpoint_dir
         self.points: List[Dict[str, Any]] = []
         self.tables: List[str] = []
-        self.engine: Dict[str, float] = {}
+        self.engine: Dict[str, Any] = {}
         #: Sweep points that exhausted their attempts (``FailedRun``
         #: records): the run completes without them and their structured
         #: failure records land in ``RunResult.failed``.
@@ -304,15 +318,19 @@ class RunContext:
         """
         self.metrics.merge_snapshot(snapshot)
 
-    def record_engine(self, stats: Mapping[str, float]) -> None:
+    def record_engine(self, stats: Mapping[str, Any]) -> None:
         """Accumulate simulator/op-count observability counters.
 
         Summable counters (event counts, wall times, op counts) from each
         sweep point are added together — except ``max_*`` high-water
         marks, which take the maximum — and the totals surface in
-        ``RunResult.engine``.
+        ``RunResult.engine``. String values (``queue_kind``) pass through
+        verbatim: every point in a run uses the same backend.
         """
         for key, value in stats.items():
+            if isinstance(value, str):
+                self.engine[key] = value
+                continue
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 continue
             if key.startswith("max_"):

@@ -141,6 +141,10 @@ class RunResult:
         data["config"].pop("timeout", None)
         data["config"].pop("retries", None)
         data["config"].pop("checkpoint_dir", None)
+        # The event-queue backend pops in identical (time, seq) order on
+        # every kind, so it cannot change results either — the heap-vs-
+        # calendar artifact-identity tests compare this stable form.
+        data["config"].pop("engine", None)
         # Per-point engine records carry the same volatility (the
         # simulator's wall-time counter) down at point granularity, and
         # timing experiments measure wall clock as their data.

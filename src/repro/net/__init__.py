@@ -11,6 +11,7 @@ measurement probes (:mod:`~repro.net.monitors`), and the
 """
 
 from .engine import Event, Simulator
+from .eventq import CalendarQueue, HeapQueue, make_queue
 from .link import Link
 from .monitors import BacklogMonitor, HopTrace, ServiceTrace, ThroughputMonitor
 from .node import Node
@@ -40,8 +41,10 @@ __all__ = [
     "BacklogMonitor",
     "BurstSource",
     "CBRSource",
+    "CalendarQueue",
     "DeliveryRecord",
     "Event",
+    "HeapQueue",
     "ExponentialOnOffSource",
     "FlowRecord",
     "FlowSpec",
@@ -62,6 +65,7 @@ __all__ = [
     "compute_next_hops",
     "load_delivery_trace",
     "load_service_trace",
+    "make_queue",
     "save_delivery_trace",
     "save_service_trace",
     "shortest_path",

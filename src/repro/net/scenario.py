@@ -70,8 +70,10 @@ class Network:
         self,
         default_scheduler: str = "drr",
         default_scheduler_kwargs: Optional[Dict] = None,
+        *,
+        engine: Optional[str] = None,
     ) -> None:
-        self.sim = Simulator()
+        self.sim = Simulator(queue=engine)
         self.nodes: Dict[str, Node] = {}
         self.adjacency: Dict[str, List[Tuple[str, float]]] = {}
         self.sinks = SinkRegistry(self.sim)

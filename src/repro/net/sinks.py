@@ -17,7 +17,7 @@ from .engine import Simulator
 __all__ = ["DeliveryRecord", "FlowRecord", "SinkRegistry"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryRecord:
     """One delivered packet, reduced to what the analyses need."""
 

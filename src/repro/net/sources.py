@@ -67,6 +67,14 @@ class CBRSource(TrafficSource):
 
     This is the paper's reserved-traffic model (CBR over the reserved
     rate). ``start_at``/``stop_at`` bound the active interval.
+
+    Emission ``n`` happens at exactly ``start + n * interval`` (one
+    multiply from the epoch, not an accumulated ``now + interval``), so
+    arrival times carry no cumulative float drift even after 10^7
+    packets. Emissions are scheduled ``batch`` at a time with a single
+    re-arm event per batch, amortising the per-packet ``schedule()``
+    overhead. A grid point at or past ``stop_at`` is never scheduled —
+    the same emissions as the tick-by-tick form, without dead events.
     """
 
     def __init__(
@@ -76,28 +84,57 @@ class CBRSource(TrafficSource):
         *,
         start_at: float = 0.0,
         stop_at: Optional[float] = None,
+        batch: int = 64,
     ) -> None:
         super().__init__()
         if rate_bps <= 0:
             raise ConfigurationError(f"rate must be positive, got {rate_bps}")
         if packet_size <= 0:
             raise ConfigurationError(f"packet size must be positive")
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
         self.rate_bps = rate_bps
         self.packet_size = packet_size
         self.start_at = start_at
         self.stop_at = stop_at
+        self.batch = batch
         self.interval = packet_size * 8.0 / rate_bps
+        self._epoch = 0.0
+        self._next_n = 0
 
     def start(self) -> None:
         assert self.sim is not None
-        self.sim.schedule_at(max(self.start_at, self.sim.now), self._tick)
+        self._epoch = max(self.start_at, self.sim.now)
+        self._next_n = 0
+        self._schedule_batch()
 
-    def _tick(self) -> None:
-        assert self.sim is not None
-        if self.stop_at is not None and self.sim.now >= self.stop_at:
-            return
+    def _schedule_batch(self) -> None:
+        sim = self.sim
+        assert sim is not None
+        epoch = self._epoch
+        interval = self.interval
+        stop = self.stop_at
+        schedule_at = sim.schedule_at
+        fire = self._fire
+        t = 0.0
+        scheduled = False
+        first = self._next_n
+        last = first + self.batch
+        for n in range(first, last):
+            t = epoch + n * interval
+            if stop is not None and t >= stop:
+                self._next_n = n
+                return  # the grid reached stop_at: the source is done
+            schedule_at(t, fire)
+            scheduled = True
+        self._next_n = last
+        if scheduled:
+            # Re-arm at the batch's final emission time (later seq, so it
+            # fires after that emission).
+            schedule_at(t, self._schedule_batch)
+
+    def _fire(self) -> None:
         self.emit(self.packet_size)
-        self.sim.schedule(self.interval, self._tick)
 
 
 class PoissonSource(TrafficSource):
@@ -160,6 +197,10 @@ class _OnOffSource(TrafficSource):
         self.stop_at = stop_at
         self._rng = random.Random(seed)
         self._on_until = 0.0
+        # Drift-free ON-phase grid: emission j of the current ON period
+        # happens at exactly ``on_epoch + j * interval``.
+        self._on_epoch = 0.0
+        self._on_n = 0
 
     @abc.abstractmethod
     def _sample_on(self) -> float:
@@ -181,7 +222,10 @@ class _OnOffSource(TrafficSource):
         assert self.sim is not None
         if self._stopped():
             return
-        self._on_until = self.sim.now + self._sample_on()
+        now = self.sim.now
+        self._on_until = now + self._sample_on()
+        self._on_epoch = now
+        self._on_n = 0
         self._tick()
 
     def _tick(self) -> None:
@@ -192,7 +236,10 @@ class _OnOffSource(TrafficSource):
             self.sim.schedule(self._sample_off(), self._begin_on)
             return
         self.emit(self.packet_size)
-        self.sim.schedule(self.interval, self._tick)
+        self._on_n += 1
+        self.sim.schedule_at(
+            self._on_epoch + self._on_n * self.interval, self._tick
+        )
 
 
 class ParetoOnOffSource(_OnOffSource):

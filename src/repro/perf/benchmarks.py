@@ -1,0 +1,211 @@
+"""The microbenchmark suite behind ``python -m repro.perf``.
+
+Three groups, each timing the layer above it:
+
+``event_loop``
+    Raw :class:`~repro.net.engine.Simulator` throughput (events/s) under
+    the classic *hold* model — a standing population of self-rescheduling
+    events — for each queue backend. This is the bench the calendar-vs-
+    heap claim rests on.
+
+``scheduler_dequeue``
+    Per-dequeue cost (packets/s) of saturated SRR/DRR/WFQ schedulers at
+    N ∈ {16, 512, 4096} flows, no simulator involved.
+
+``end_to_end``
+    A full E5-scale network scenario (SRR bottleneck, hundreds of CBR
+    flows) run under each backend — the number every experiment actually
+    feels.
+
+Each benchmark returns per-round wall times plus a work-item count, from
+which the report layer derives pytest-benchmark-compatible stats. Round
+counts shrink under ``--quick`` but the benchmark *names and sizes* do
+not, so a quick CI run remains comparable against the committed
+default-scale baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Callable, Dict, List, Tuple
+
+from ..bench.scenarios import single_bottleneck_network
+from ..bench.workloads import build_loaded_scheduler, geometric_weights
+from ..net.engine import Simulator
+from ..net.eventq import ENGINE_ENV_VAR
+
+__all__ = ["Benchmark", "BenchResult", "all_benchmarks", "run_benchmark"]
+
+#: Queue backends compared by the engine-level groups.
+_ENGINES = ("heap", "calendar")
+
+#: The event-loop hold model's standing event population (the acceptance
+#: bar is calendar >= 1.5x heap at >= 10k concurrent events).
+_HOLD_POPULATION = 10_000
+_HOLD_CHURN = 30_000
+
+#: Scheduler-dequeue sweep sizes (matches E5's flow-count ladder).
+_DEQUEUE_SIZES = (16, 512, 4096)
+_DEQUEUE_PULLS = 20_000
+
+#: End-to-end scenario size: an SRR bottleneck at E5-like flow counts.
+_E2E_FLOWS = 256
+_E2E_UNTIL = 2.0
+
+
+class Benchmark:
+    """One named benchmark: a setup-free callable timed over rounds."""
+
+    __slots__ = ("group", "name", "params", "fn", "rounds", "quick_rounds")
+
+    def __init__(
+        self,
+        group: str,
+        name: str,
+        params: Dict,
+        fn: Callable[[], Tuple[float, int]],
+        *,
+        rounds: int = 5,
+        quick_rounds: int = 2,
+    ) -> None:
+        self.group = group
+        self.name = name
+        self.params = params
+        self.fn = fn
+        self.rounds = rounds
+        self.quick_rounds = quick_rounds
+
+
+class BenchResult:
+    """Raw timings for one benchmark: seconds per round + work items."""
+
+    __slots__ = ("benchmark", "times", "work_items")
+
+    def __init__(
+        self, benchmark: Benchmark, times: List[float], work_items: int
+    ) -> None:
+        self.benchmark = benchmark
+        self.times = times
+        self.work_items = work_items
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def throughput(self) -> float:
+        """Work items per second at the mean round time."""
+        return self.work_items / self.mean if self.mean > 0 else 0.0
+
+
+def _hold_round(kind: str, population: int, churn: int) -> Tuple[float, int]:
+    """One hold-model round: time ``population + churn`` event pops."""
+    rng = random.Random(42)
+    deltas = [rng.random() * 0.02 for _ in range(4096)]
+    sim = Simulator(queue=kind)
+    state = [0]
+
+    def tick() -> None:
+        c = state[0]
+        if c < churn:
+            state[0] = c + 1
+            sim.schedule(deltas[c & 4095], tick)
+
+    for i in range(population):
+        sim.schedule(deltas[i & 4095], tick)
+    t0 = time.perf_counter()
+    processed = sim.run()
+    elapsed = time.perf_counter() - t0
+    assert processed == population + churn
+    return elapsed, processed
+
+
+def _dequeue_round(name: str, n_flows: int, pulls: int) -> Tuple[float, int]:
+    """One scheduler round: time ``pulls`` dequeues at size N (the
+    scheduler is built and saturated outside the timed section)."""
+    per_flow = max(2, -(-pulls // n_flows))  # ceil: never drain a flow
+    sched = build_loaded_scheduler(
+        name, geometric_weights(n_flows), per_flow, quantum=200
+    ) if name in ("srr", "drr") else build_loaded_scheduler(
+        name, geometric_weights(n_flows), per_flow
+    )
+    dequeue = sched.dequeue
+    t0 = time.perf_counter()
+    for _ in range(pulls):
+        dequeue()
+    elapsed = time.perf_counter() - t0
+    return elapsed, pulls
+
+
+def _e2e_round(kind: str, n_flows: int, until: float) -> Tuple[float, int]:
+    """One end-to-end round: build and run an SRR bottleneck scenario.
+
+    The scenario builder owns its Simulator (ports capture it at link
+    creation), so the backend is selected the same way the harness does
+    it: through the process-default environment variable.
+    """
+    saved = os.environ.get(ENGINE_ENV_VAR)
+    os.environ[ENGINE_ENV_VAR] = kind
+    try:
+        net = single_bottleneck_network("srr", n_flows)
+    finally:
+        if saved is None:
+            os.environ.pop(ENGINE_ENV_VAR, None)
+        else:
+            os.environ[ENGINE_ENV_VAR] = saved
+    assert net.sim.queue_kind == kind
+    t0 = time.perf_counter()
+    net.run(until=until)
+    elapsed = time.perf_counter() - t0
+    return elapsed, net.sim.events_processed
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """The full suite, in report order."""
+    benches: List[Benchmark] = []
+    for kind in _ENGINES:
+        benches.append(Benchmark(
+            "event_loop",
+            f"event_loop[{kind}-n{_HOLD_POPULATION}]",
+            {"engine": kind, "population": _HOLD_POPULATION,
+             "churn": _HOLD_CHURN},
+            lambda kind=kind: _hold_round(
+                kind, _HOLD_POPULATION, _HOLD_CHURN
+            ),
+        ))
+    for sched in ("srr", "drr", "wfq"):
+        for n in _DEQUEUE_SIZES:
+            benches.append(Benchmark(
+                "scheduler_dequeue",
+                f"dequeue[{sched}-n{n}]",
+                {"scheduler": sched, "n_flows": n, "pulls": _DEQUEUE_PULLS},
+                lambda sched=sched, n=n: _dequeue_round(
+                    sched, n, _DEQUEUE_PULLS
+                ),
+                rounds=3,
+                quick_rounds=1,
+            ))
+    for kind in _ENGINES:
+        benches.append(Benchmark(
+            "end_to_end",
+            f"e2e_srr_bottleneck[{kind}-n{_E2E_FLOWS}]",
+            {"engine": kind, "n_flows": _E2E_FLOWS, "until": _E2E_UNTIL},
+            lambda kind=kind: _e2e_round(kind, _E2E_FLOWS, _E2E_UNTIL),
+            rounds=3,
+            quick_rounds=1,
+        ))
+    return benches
+
+
+def run_benchmark(bench: Benchmark, *, quick: bool = False) -> BenchResult:
+    """Run one benchmark: one discarded warmup round, then the timed ones."""
+    bench.fn()  # warmup: import costs, allocator warm, caches primed
+    rounds = bench.quick_rounds if quick else bench.rounds
+    times: List[float] = []
+    work = 0
+    for _ in range(rounds):
+        elapsed, work = bench.fn()
+        times.append(elapsed)
+    return BenchResult(bench, times, work)

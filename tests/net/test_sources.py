@@ -154,3 +154,96 @@ class TestTrace:
             TraceSource([(-1.0, 100)])
         with pytest.raises(ConfigurationError):
             TraceSource([(0.0, 0)])
+
+
+class TestDriftFreeGrids:
+    """Periodic arrivals are start + n*interval, not accumulated sums."""
+
+    def test_cbr_emissions_on_exact_grid(self):
+        # 0.1 s is not float-representable, so accumulated `now + interval`
+        # would drift off the grid; the epoch form must not.
+        src = CBRSource(rate_bps=16_000, packet_size=200, start_at=0.25)
+        emissions = run_source(src, until=500.0)
+        interval = src.interval
+        assert len(emissions) > 4000
+        for n, (t, _size) in enumerate(emissions):
+            assert t == 0.25 + n * interval  # exact equality, no approx
+
+    def test_cbr_batching_does_not_change_emissions(self):
+        a = run_source(CBRSource(16_000, 200, batch=1), until=10.0)
+        b = run_source(CBRSource(16_000, 200, batch=64), until=10.0)
+        c = run_source(CBRSource(16_000, 200, batch=1000), until=10.0)
+        assert a == b == c
+
+    def test_cbr_stop_at_schedules_no_dead_events(self):
+        sim = Simulator()
+        src = CBRSource(16_000, 200, stop_at=0.35)
+        src.bind(sim, lambda size: None)
+        src.start()
+        sim.run()
+        # Emissions at 0.0, 0.1, 0.2, 0.3 — and the clock never ran past
+        # the last one (no events linger beyond stop_at).
+        assert src.packets_emitted == 4
+        assert sim.now == pytest.approx(0.3)
+        assert sim.pending_events == 0
+
+    def test_on_off_phase_uses_exact_grid(self):
+        sim = Simulator()
+        times = []
+        phases = []
+
+        class Recorder(ExponentialOnOffSource):
+            def _begin_on(self):
+                emitted = self.packets_emitted
+                super()._begin_on()
+                if self.packets_emitted > emitted:
+                    phases.append(self._on_epoch)
+
+        src = Recorder(
+            peak_rate_bps=160_000, packet_size=200, mean_on=0.5,
+            mean_off=0.1, seed=3,
+        )
+        src.bind(sim, lambda size: times.append(sim.now))
+        src.start()
+        sim.run(until=20.0)
+        assert len(times) > 100
+        assert len(phases) > 3
+        interval = src.interval
+        # Each emission sits exactly on its ON phase's grid.
+        bounds = phases[1:] + [float("inf")]
+        it = iter(times)
+        t = next(it)
+        for epoch, nxt in zip(phases, bounds):
+            n = 0
+            while t is not None and t < nxt:
+                assert t == epoch + n * interval  # exact equality
+                n += 1
+                t = next(it, None)
+        assert t is None  # every emission was matched to a phase
+
+    def test_ulp_drift_at_ten_million_packets(self):
+        # The property behind the grid form: accumulating `t += interval`
+        # 10^7 times drifts by thousands of ulps, while the closed form
+        # start + n*interval stays within one rounding step of the exact
+        # rational value at any n.
+        from fractions import Fraction
+        import math
+        import random
+
+        rng = random.Random(1234)
+        n = 10_000_000
+        for _ in range(5):
+            start = rng.uniform(0.0, 10.0)
+            interval = rng.uniform(1e-7, 1e-5)
+            grid = start + n * interval
+            exact = Fraction(start) + n * Fraction(interval)
+            assert abs(Fraction(grid) - exact) <= 2 * Fraction(math.ulp(grid))
+
+        # And the accumulated form really does drift (the bug the grid
+        # form fixes): one deterministic witness is enough.
+        interval = 0.1
+        acc = 0.0
+        for _ in range(n):
+            acc += interval
+        exact = n * Fraction(interval)
+        assert abs(Fraction(acc) - exact) > 1000 * Fraction(math.ulp(acc))
