@@ -1,0 +1,51 @@
+"""Differential conformance fuzzer for every registered scheduler.
+
+Seeded random scenarios (:mod:`.scenario`) are driven through each
+scheduler variant (:mod:`.runner`) and judged by three oracle families
+(:mod:`.oracles`): conservation laws, fluid-reference lag bounds, and
+metamorphic invariances. Failures are greedily shrunk (:mod:`.shrink`)
+into minimal replayable repro artifacts (:mod:`.corpus`).
+
+Entry point: ``python -m repro.conformance`` (see :mod:`.cli`).
+"""
+
+from .corpus import (
+    DEFAULT_RESULTS_DIR,
+    corpus_seeds,
+    load_repro_artifact,
+    write_repro_artifact,
+)
+from .oracles import Violation, check_scenario, fluid_lag, lag_bound
+from .runner import (
+    VARIANTS,
+    Departure,
+    LivelockError,
+    ScenarioRun,
+    Variant,
+    run_scenario,
+    variant_by_name,
+)
+from .scenario import FlowDef, Scenario, generate_scenario
+from .shrink import shrink
+
+__all__ = [
+    "DEFAULT_RESULTS_DIR",
+    "Departure",
+    "FlowDef",
+    "LivelockError",
+    "Scenario",
+    "ScenarioRun",
+    "VARIANTS",
+    "Variant",
+    "Violation",
+    "check_scenario",
+    "corpus_seeds",
+    "fluid_lag",
+    "generate_scenario",
+    "lag_bound",
+    "load_repro_artifact",
+    "run_scenario",
+    "shrink",
+    "variant_by_name",
+    "write_repro_artifact",
+]

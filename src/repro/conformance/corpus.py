@@ -1,0 +1,120 @@
+"""Repro artifacts and the committed seed corpus.
+
+A *repro artifact* (``results/conformance/repro-<variant>-<seed>.json``)
+captures one shrunk failing scenario plus the violations it triggers —
+enough to replay the failure with ``python -m repro.conformance --replay
+<path>`` and nothing else. Filenames walk an attempt counter past
+existing files (same O_EXCL discipline as
+:mod:`repro.harness.artifacts`), so repeated failing runs never clobber
+earlier evidence.
+
+The *seed corpus* (``corpus.json`` next to this module) is the committed
+list of generator seeds replayed by PR CI and the tier-1 test suite:
+every corpus seed must pass every oracle on every variant. Seeds that
+once exposed a bug get appended here after the fix, turning yesterday's
+fuzz finding into tomorrow's regression test without committing bulky
+scenario JSON.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..core.errors import ArtifactError
+from ..harness.io import atomic_write_json, load_json_checked
+from .oracles import Violation
+from .scenario import Scenario
+
+__all__ = [
+    "REPRO_SCHEMA",
+    "write_repro_artifact",
+    "load_repro_artifact",
+    "corpus_seeds",
+]
+
+REPRO_SCHEMA = "repro.conformance/repro/v1"
+
+#: Default artifact directory (under the repo's results tree).
+DEFAULT_RESULTS_DIR = Path("results") / "conformance"
+
+_CORPUS_PATH = Path(__file__).with_name("corpus.json")
+
+
+def write_repro_artifact(
+    variant_name: str,
+    scenario: Scenario,
+    violations: Sequence[Violation],
+    *,
+    results_dir: Union[str, Path] = DEFAULT_RESULTS_DIR,
+    shrunk_from: Optional[Scenario] = None,
+) -> Path:
+    """Persist one failing scenario; returns the path written."""
+    payload: Dict[str, Any] = {
+        "schema": REPRO_SCHEMA,
+        "variant": variant_name,
+        "seed": scenario.seed,
+        "scenario": scenario.to_json_dict(),
+        "violations": [v.to_json_dict() for v in violations],
+    }
+    if shrunk_from is not None:
+        payload["original"] = {
+            "flows": len(shrunk_from.flows),
+            "ops": len(shrunk_from.ops),
+        }
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    safe_variant = variant_name.replace(":", "_").replace("+", "plus")
+    for attempt in itertools.count():
+        suffix = "" if attempt == 0 else f"-{attempt}"
+        path = results_dir / (
+            f"repro-{safe_variant}-{scenario.seed}{suffix}.json"
+        )
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return atomic_write_json(path, payload)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def load_repro_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a repro artifact: {"variant": str, "scenario": Scenario, ...}.
+
+    Raises :class:`~repro.core.errors.ArtifactError` on missing/truncated
+    files or wrong schema, like every other loader in this repo.
+    """
+    data = load_json_checked(path, schema=REPRO_SCHEMA)
+    try:
+        scenario = Scenario.from_json_dict(data["scenario"])
+        variant = str(data["variant"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"repro artifact {path} is malformed: {exc}"
+        ) from exc
+    return {
+        "variant": variant,
+        "scenario": scenario,
+        "violations": data.get("violations", []),
+    }
+
+
+def corpus_seeds(path: Optional[Union[str, Path]] = None) -> List[int]:
+    """The committed corpus seeds (sorted, deduplicated)."""
+    corpus_path = Path(path) if path is not None else _CORPUS_PATH
+    try:
+        data = json.loads(corpus_path.read_text())
+    except OSError as exc:
+        raise ArtifactError(
+            f"cannot read corpus {corpus_path}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(
+            f"corpus {corpus_path} is not valid JSON: {exc}"
+        ) from exc
+    seeds = data["seeds"] if isinstance(data, Mapping) else data
+    return sorted({int(s) for s in seeds})

@@ -1,0 +1,599 @@
+"""The three oracle families of the conformance fuzzer.
+
+1. **Conservation laws** — properties every work-conserving packet
+   scheduler must satisfy on any input: no livelock (progress per
+   ``dequeue``), no idling with backlog, no service to flows with nothing
+   queued (phantom packets), per-flow FIFO order, and exact byte
+   accounting (accepted = dequeued + churn-dropped + residual, with zero
+   residual after a full drain).
+
+2. **Fluid-reference lag** — over the scenario's final drain (constant
+   membership, no arrivals) each flow's cumulative service is compared to
+   the GPS/weighted-fluid ideal computed by exact waterfilling over the
+   same departure sequence. The maximum per-flow lag behind the fluid
+   must stay under the discipline's analytic bound (SRR Lemma 2's
+   one-round spread, the DRR frame bound of Stiliadis-Varma — the family
+   Tabatabaee & Le Boudec's network-calculus analyses tightened — and the
+   Parekh-Gallager constant for WFQ), expressed in the discipline's
+   native service unit: *bytes* for byte-credit and timestamp schedulers,
+   *packets* for the per-packet round-robin family. Virtual Clock is
+   exempt: punishing a previously over-served flow without bound is its
+   documented design, not a bug. FIFO is exempt because it provides no
+   isolation at all (that is its point).
+
+3. **Metamorphic invariances** — transformed replays that must agree
+   with the original run: flow-ID relabeling (bit-identical service
+   order), uniform weight doubling (bit-identical for normalised-share
+   disciplines, bound-equivalent for frame-based ones), and the ``heap``
+   vs ``calendar`` event-engine replay of a derived network scenario
+   (bit-identical delivery records). ``--jobs 1`` vs ``--jobs N``
+   identity is checked one level up, by the CLI, over result digests.
+
+Bound constants carry a deliberate safety factor (they are upper
+envelopes, not tight constants); the tuning notes next to each formula
+record the maximum ratio observed across large randomized sweeps, so
+future tightening has data to lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .runner import (
+    OP_BUDGET,
+    ScenarioRun,
+    Variant,
+    run_scenario,
+    variant_by_name,
+)
+from .scenario import FlowDef, Scenario
+
+__all__ = [
+    "Violation",
+    "check_conservation",
+    "check_fluid_lag",
+    "check_metamorphic",
+    "check_engine_equivalence",
+    "check_scenario",
+    "fluid_lag",
+    "lag_bound",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, structured for artifacts and shrinking."""
+
+    family: str          # "conservation" | "lag" | "metamorphic"
+    check: str           # specific oracle, e.g. "livelock", "fifo_order"
+    variant: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "check": self.check,
+            "variant": self.variant,
+            "message": self.message,
+            "details": {k: repr(v) for k, v in self.details.items()},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Family 1: conservation laws
+# ---------------------------------------------------------------------------
+
+def check_conservation(
+    variant: Variant, scenario: Scenario, run: ScenarioRun
+) -> List[Violation]:
+    out: List[Violation] = []
+
+    def fail(check: str, message: str, **details: Any) -> None:
+        out.append(Violation("conservation", check, variant.name,
+                             message, details))
+
+    if run.livelock_at is not None:
+        fail(
+            "livelock",
+            f"dequeue() exceeded the op budget at op {run.livelock_at} "
+            f"while backlog remained",
+            op=run.livelock_at,
+        )
+        return out  # the run is truncated; downstream numbers are moot
+    if run.idle_with_backlog is not None:
+        fail(
+            "work_conservation",
+            f"dequeue() returned None with backlog > 0 at op "
+            f"{run.idle_with_backlog}",
+            op=run.idle_with_backlog,
+        )
+    # Phantom / duplicated service and per-flow FIFO order.
+    served: Dict[int, int] = {}
+    last_uid_by_flow: Dict[int, int] = {}
+    for dep in run.departures:
+        served[dep.uid] = served.get(dep.uid, 0) + 1
+        expected = run.accepted_uids.get(dep.uid)
+        if expected is None:
+            fail(
+                "phantom_service",
+                f"departed packet uid={dep.uid} (flow index "
+                f"{dep.flow_index}) was never accepted by the scheduler "
+                f"(or belonged to a removed flow)",
+                uid=dep.uid,
+            )
+            continue
+        if expected != (dep.flow_index, dep.size):
+            fail(
+                "identity",
+                f"departed packet uid={dep.uid} mutated: accepted as "
+                f"{expected}, departed as {(dep.flow_index, dep.size)}",
+                uid=dep.uid,
+            )
+        prev = last_uid_by_flow.get(dep.flow_index)
+        if prev is not None and dep.uid < prev:
+            fail(
+                "fifo_order",
+                f"flow index {dep.flow_index} served uid={dep.uid} after "
+                f"uid={prev} (uids are per-flow monotone in enqueue order)",
+                flow=dep.flow_index,
+            )
+        last_uid_by_flow[dep.flow_index] = dep.uid
+    dupes = {uid: n for uid, n in served.items() if n > 1}
+    if dupes:
+        fail(
+            "duplicate_service",
+            f"{len(dupes)} packet uid(s) departed more than once",
+            uids=sorted(dupes)[:8],
+        )
+    # Byte conservation over the whole run.
+    expected_bytes = run.dequeued_bytes + run.dropped_bytes \
+        + run.residual_backlog_bytes
+    if run.accepted_bytes != expected_bytes:
+        fail(
+            "byte_conservation",
+            f"accepted {run.accepted_bytes}B != dequeued "
+            f"{run.dequeued_bytes}B + churn-dropped {run.dropped_bytes}B "
+            f"+ residual {run.residual_backlog_bytes}B",
+        )
+    if run.residual_backlog_packets or run.residual_backlog_bytes:
+        fail(
+            "drain_residual",
+            f"scheduler reports backlog "
+            f"{run.residual_backlog_packets}p/"
+            f"{run.residual_backlog_bytes}B after a full drain",
+        )
+    if run.residual_backlog_packets < 0 or run.residual_backlog_bytes < 0:
+        fail("negative_backlog", "backlog accounting went negative")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Family 2: fluid-reference lag
+# ---------------------------------------------------------------------------
+
+#: Variants measured in packets (per-packet round robin) vs bytes
+#: (byte-credit / timestamp). Absent => exempt from the lag oracle.
+_LAG_UNIT: Dict[str, str] = {
+    "srr": "packets",
+    "wrr": "packets",
+    "rr": "packets",
+    "rrr": "packets",
+    "g3": "packets",
+    "srr:deficit": "bytes",
+    "drr": "bytes",
+    "wfq": "bytes",
+    "wf2q+": "bytes",
+    "scfq": "bytes",
+    "stfq": "bytes",
+    "strr": "bytes",
+    # "vc": exempt — unbounded punishment of previously over-served
+    #        flows is Virtual Clock's documented behaviour.
+    # "fifo": exempt — provides no isolation by design.
+}
+
+
+def _lag_weights(
+    variant: Variant, scenario: Scenario, unit: str
+) -> Dict[int, float]:
+    """Per-flow-index fluid weights in the variant's service unit."""
+    weights: Dict[int, float] = {}
+    for i, flow in enumerate(scenario.flows):
+        if variant.name == "rr":
+            weights[i] = 1.0
+        elif unit == "packets":
+            weights[i] = float(flow.weight)
+        else:
+            weights[i] = float(variant.flow_weight(flow))
+    return weights
+
+
+def fluid_lag(
+    run: ScenarioRun, weights: Dict[int, float], unit: str
+) -> Dict[int, float]:
+    """Max per-flow lag behind the GPS fluid over the final drain.
+
+    The fluid reference is exact waterfilling: the drain-start backlogs
+    are served at rates proportional to ``weights`` among flows whose
+    fluid backlog is still positive, and the fluid system is advanced by
+    exactly the work each real departure transmits (its size in bytes, or
+    one packet). Lag_i(t) = fluid_served_i(t) - real_served_i(t); flows
+    *ahead* of the fluid contribute zero.
+    """
+    backlog = dict(
+        run.drain_backlog_bytes if unit == "bytes"
+        else run.drain_backlog_packets
+    )
+    fluid_remaining = {
+        i: float(b) for i, b in backlog.items() if b > 0 and weights.get(i)
+    }
+    fluid_served = {i: 0.0 for i in fluid_remaining}
+    real_served = {i: 0.0 for i in fluid_remaining}
+    max_lag = {i: 0.0 for i in fluid_remaining}
+    for dep in run.departures[run.final_drain_start:]:
+        work = float(dep.size if unit == "bytes" else 1)
+        # Advance the fluid by `work` units (waterfilling).
+        while work > 1e-12 and fluid_remaining:
+            active_w = sum(weights[i] for i in fluid_remaining)
+            # Work needed to drain the nearest-exhaustion flow.
+            limit = min(
+                fluid_remaining[i] * active_w / weights[i]
+                for i in fluid_remaining
+            )
+            step = min(work, limit)
+            drained = []
+            for i in list(fluid_remaining):
+                share = step * weights[i] / active_w
+                fluid_served[i] += share
+                fluid_remaining[i] -= share
+                if fluid_remaining[i] <= 1e-9:
+                    drained.append(i)
+            for i in drained:
+                del fluid_remaining[i]
+            work -= step
+        if dep.flow_index in real_served:
+            real_served[dep.flow_index] += (
+                dep.size if unit == "bytes" else 1
+            )
+        for i in max_lag:
+            lag = fluid_served[i] - real_served[i]
+            if lag > max_lag[i]:
+                max_lag[i] = lag
+    return max_lag
+
+
+def lag_bound(
+    variant: Variant,
+    scenario: Scenario,
+    weights: Dict[int, float],
+    flow_index: int,
+    unit: str,
+) -> float:
+    """Analytic lag envelope for one flow, in the variant's service unit.
+
+    Formulas follow the per-discipline service-curve results (see
+    :mod:`repro.analysis.bounds` for the delay-domain versions) with the
+    time axis replaced by transmitted work, plus a small discreteness
+    slack: one extra max-packet/frame term absorbs the arbitrary phase at
+    which the drain starts, and SRR's restart-on-order-change policy can
+    perturb one extra round per order change (at most one per drained
+    flow), hence the ``n`` factor on its round term.
+    """
+    total_w = sum(weights.values())
+    w = weights[flow_index]
+    n = len(weights)
+    name = variant.name
+    if unit == "packets":
+        if name == "rr":
+            return float(2 * n + 2)
+        if name == "wrr":
+            # One full frame (sum of bursts) + one re-entry frame.
+            return 2.0 * total_w + 2.0
+        if name == "srr":
+            # One WSS round per order change (restart policy, at most one
+            # change per drained flow) + one round of spread slack.
+            return (n + 1.0) * w + total_w + 2.0
+        # rrr / g3: slot rounds; each set bit recurs with its own period,
+        # so within one capacity round service is exact. Two rounds of
+        # the *active* slot weight + per-bit slack.
+        return 2.0 * total_w + 16.0
+    # bytes
+    L = float(scenario.max_packet or 1500)
+    if name in ("drr", "srr:deficit"):
+        frame = total_w * scenario.quantum
+        # Stiliadis-Varma latency (3F - 2phi)/C in service units, plus a
+        # packet of store-and-forward slack.
+        return 3.0 * frame + 2.0 * L
+    if name in ("wfq", "wf2q+"):
+        # Parekh-Gallager: PGPS service trails GPS by at most one max
+        # packet; doubled again for the discrete drain-start phase.
+        return 4.0 * L
+    if name == "scfq":
+        # Golestani: up to one max packet per competing flow.
+        return (n + 1.0) * L + 2.0 * L
+    if name == "stfq":
+        return (n + 1.0) * L + 2.0 * L
+    if name == "strr":
+        # Stratified RR: intra-class DRR rounds + inter-class slack; the
+        # stratification quantises shares to powers of two, so allow one
+        # stratum (x2) of deviation on the frame term.
+        return 4.0 * (n + 1.0) * L + 2.0 * total_w
+    raise AssertionError(f"no lag bound for variant {name!r}")
+
+
+def check_fluid_lag(
+    variant: Variant, scenario: Scenario, run: ScenarioRun
+) -> List[Violation]:
+    unit = _LAG_UNIT.get(variant.name)
+    if unit is None or run.livelock_at is not None:
+        return []
+    weights = _lag_weights(variant, scenario, unit)
+    lags = fluid_lag(run, weights, unit)
+    out: List[Violation] = []
+    for i, lag in sorted(lags.items()):
+        bound = lag_bound(variant, scenario, weights, i, unit)
+        if lag > bound:
+            out.append(Violation(
+                "lag",
+                "fluid_lag",
+                variant.name,
+                f"flow {scenario.flows[i].flow_id!r} lagged the weighted "
+                f"fluid by {lag:.1f} {unit} over the final drain; the "
+                f"{variant.name} bound is {bound:.1f} {unit}",
+                {"flow_index": i, "lag": lag, "bound": bound,
+                 "unit": unit},
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Family 3: metamorphic invariances
+# ---------------------------------------------------------------------------
+
+#: Variants whose service order is exactly invariant under uniform weight
+#: doubling (normalised-share disciplines: stamps scale by exactly 1/2,
+#: a lossless float operation, and comparisons are unchanged). The
+#: frame-based disciplines change their burst structure under scaling and
+#: are checked as bound-equivalent instead.
+_SCALE_EXACT = {"wfq", "wf2q+", "scfq", "stfq", "vc", "strr", "rr", "fifo"}
+
+
+def _relabeled(scenario: Scenario) -> Scenario:
+    flows = tuple(
+        FlowDef(f"relabel-{9 - i}-{f.flow_id}", f.weight, f.frac_weight)
+        for i, f in enumerate(scenario.flows)
+    )
+    return Scenario(scenario.seed, flows, scenario.ops, scenario.quantum)
+
+
+def _scaled(scenario: Scenario) -> Scenario:
+    return scenario.with_weights(
+        [f.weight * 2 for f in scenario.flows],
+        [f.frac_weight * 2 for f in scenario.flows],
+    )
+
+
+def check_metamorphic(
+    variant: Variant,
+    scenario: Scenario,
+    run: ScenarioRun,
+    *,
+    op_budget: int = OP_BUDGET,
+) -> List[Violation]:
+    if run.livelock_at is not None:
+        return []  # conservation already failed; replays would too
+    out: List[Violation] = []
+
+    # Relabeling: flow identity must be opaque — the service order over
+    # flow *indices* must be bit-identical.
+    relabel_run = run_scenario(variant, _relabeled(scenario),
+                               op_budget=op_budget)
+    if relabel_run.order_key() != run.order_key():
+        diverge = _first_divergence(run, relabel_run)
+        out.append(Violation(
+            "metamorphic",
+            "relabel",
+            variant.name,
+            f"service order changed under flow-ID relabeling "
+            f"(first divergence at departure {diverge})",
+            {"departure": diverge},
+        ))
+
+    # Uniform weight doubling.
+    scaled = _scaled(scenario)
+    if max(f.weight for f in scenario.flows) * 2 <= 1 << 62:
+        scaled_run = run_scenario(variant, scaled, op_budget=op_budget)
+        if variant.name in _SCALE_EXACT:
+            if scaled_run.order_key() != run.order_key():
+                diverge = _first_divergence(run, scaled_run)
+                out.append(Violation(
+                    "metamorphic",
+                    "weight_scale",
+                    variant.name,
+                    f"service order changed under uniform weight x2 "
+                    f"(normalised-share discipline; first divergence at "
+                    f"departure {diverge})",
+                    {"departure": diverge},
+                ))
+        else:
+            # Bound-equivalent: the scaled run must itself satisfy the
+            # conservation and lag oracles (against its scaled bounds),
+            # and — absent churn drops, which are order-dependent — must
+            # serve the identical per-flow packet multiset.
+            for v in check_conservation(variant, scaled, scaled_run):
+                out.append(Violation(
+                    "metamorphic", f"weight_scale/{v.check}", variant.name,
+                    f"scaled replay broke conservation: {v.message}",
+                    v.details,
+                ))
+            for v in check_fluid_lag(variant, scaled, scaled_run):
+                out.append(Violation(
+                    "metamorphic", "weight_scale/lag", variant.name,
+                    f"scaled replay broke its lag bound: {v.message}",
+                    v.details,
+                ))
+            if not any(op[0] == "leave" for op in scenario.ops):
+                if _served_multisets(run) != _served_multisets(scaled_run):
+                    out.append(Violation(
+                        "metamorphic",
+                        "weight_scale/multiset",
+                        variant.name,
+                        "per-flow served packet multisets changed under "
+                        "uniform weight x2 (no churn drops to excuse it)",
+                    ))
+    return out
+
+
+def _served_multisets(run: ScenarioRun) -> Dict[int, Tuple[int, ...]]:
+    by_flow: Dict[int, List[int]] = {}
+    for dep in run.departures:
+        by_flow.setdefault(dep.flow_index, []).append(dep.size)
+    return {i: tuple(sorted(sizes)) for i, sizes in by_flow.items()}
+
+
+def _first_divergence(a: ScenarioRun, b: ScenarioRun) -> int:
+    ka, kb = a.order_key(), b.order_key()
+    for i, (x, y) in enumerate(zip(ka, kb)):
+        if x != y:
+            return i
+    return min(len(ka), len(kb))
+
+
+# -- engine (heap vs calendar) replay ---------------------------------------
+
+def check_engine_equivalence(
+    variant: Variant, scenario: Scenario
+) -> List[Violation]:
+    """Replay a derived network scenario under both event-queue backends.
+
+    The scheduler-level script above never touches the event engine, so
+    this oracle lifts the scenario's flows onto a two-node bottleneck
+    network driven by CBR sources (demand ~2x the link) and asserts the
+    full delivery-record sequence is bit-identical between
+    ``Simulator(queue="heap")`` and ``Simulator(queue="calendar")``.
+
+    The network path has no watchdog of its own, so the port schedulers
+    get a budgeted op counter: a scheduler that livelocks inside
+    ``_transmit_next`` becomes an ``engine_livelock`` violation instead
+    of hanging the whole fuzz run.
+    """
+    from .runner import LivelockError
+
+    records = []
+    for engine in ("heap", "calendar"):
+        try:
+            records.append(_engine_run(variant, scenario, engine))
+        except LivelockError:
+            return [Violation(
+                "metamorphic",
+                "engine_livelock",
+                variant.name,
+                f"scheduler livelocked inside the {engine} engine replay",
+                {"engine": engine},
+            )]
+    if records[0] != records[1]:
+        first = next(
+            (i for i, (x, y) in enumerate(zip(*records)) if x != y),
+            min(len(records[0]), len(records[1])),
+        )
+        return [Violation(
+            "metamorphic",
+            "engine",
+            variant.name,
+            f"heap vs calendar event engines diverged at delivery "
+            f"{first} ({len(records[0])} vs {len(records[1])} records)",
+            {"delivery": first},
+        )]
+    return []
+
+
+def _engine_run(
+    variant: Variant, scenario: Scenario, engine: str
+) -> List[Tuple]:
+    from ..net.scenario import Network
+    from ..net.sources import CBRSource
+    from .runner import _BudgetedOpCounter
+
+    link_bps = 2_000_000.0
+    kwargs = dict(variant.kwargs)
+    if variant.scheduler in ("drr", "srr"):
+        kwargs["quantum"] = scenario.quantum
+    # Backstop only (no per-packet progress marks here): honest replays
+    # with the floored weights below stay well under 10^5 ops total.
+    kwargs["op_counter"] = _BudgetedOpCounter(2_000_000)
+    net = Network(
+        default_scheduler=variant.scheduler,
+        default_scheduler_kwargs=kwargs,
+        engine=engine,
+    )
+    net.add_node("src")
+    net.add_node("dst")
+    net.add_link("src", "dst", link_bps, delay=0.001)
+    # Capture deliveries in arrival order (the registry itself only keeps
+    # per-flow lists, which would hide cross-flow interleaving changes).
+    records: List[Tuple] = []
+    net.sinks.add_listener(
+        lambda p: records.append(
+            (p.flow_id, p.seq, p.size, p.created_at, p.delivered_at)
+        )
+    )
+    flows = scenario.flows[:4] or (FlowDef("f0", 1, 1.0),)
+
+    def engine_weight(f: FlowDef):
+        # This oracle compares event-queue backends, not weight regimes;
+        # extreme fractional weights (1e-4 -> ~10^4 scheduler visits per
+        # packet) would make even honest replays dominate the fuzz run,
+        # so floor them. Both engines see the identical configuration.
+        if variant.fractional:
+            return max(float(f.frac_weight), 0.05)
+        return f.weight
+
+    total_w = sum(float(engine_weight(f)) for f in flows) or 1.0
+    for f in flows:
+        net.add_flow(f.flow_id, "src", "dst", engine_weight(f))
+        share = float(engine_weight(f)) / total_w
+        # ~2x overload in aggregate keeps the bottleneck busy throughout.
+        rate = max(2.0 * link_bps * share, 64_000.0)
+        size = 200 + 100 * (f.weight % 3)
+        net.attach_source(f.flow_id, CBRSource(rate, size, stop_at=0.18))
+    net.run(until=0.25)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def check_scenario(
+    variant: Variant,
+    scenario: Scenario,
+    *,
+    families: Sequence[str] = ("conservation", "lag", "metamorphic"),
+    engine_check: bool = False,
+    run: Optional[ScenarioRun] = None,
+    op_budget: int = OP_BUDGET,
+) -> List[Violation]:
+    """Run one scenario through one variant and every requested oracle.
+
+    ``run`` lets callers that already executed the scenario (e.g. for a
+    determinism digest) skip the duplicate base run; ``op_budget`` sets
+    the livelock watchdog's no-progress gap for every run performed here
+    (the shrinker lowers it so livelocked candidates stay cheap).
+    """
+    if run is None:
+        run = run_scenario(variant, scenario, op_budget=op_budget)
+    out: List[Violation] = []
+    if "conservation" in families:
+        out.extend(check_conservation(variant, scenario, run))
+    if "lag" in families:
+        out.extend(check_fluid_lag(variant, scenario, run))
+    if "metamorphic" in families:
+        out.extend(check_metamorphic(variant, scenario, run,
+                                     op_budget=op_budget))
+        # Engine replay only on otherwise-clean runs: a scheduler the
+        # other oracles already condemned makes backend comparison moot
+        # (and a livelocked one would burn the engine backstop budget).
+        if engine_check and not out:
+            out.extend(check_engine_equivalence(variant, scenario))
+    return out

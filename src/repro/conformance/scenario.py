@@ -1,0 +1,230 @@
+"""Seeded random scenarios for the differential conformance fuzzer.
+
+A :class:`Scenario` is a *fully explicit*, JSON-serialisable script of
+scheduler operations — flow definitions plus an ordered op list — so that
+a failing case can be shrunk structurally (drop a flow, truncate the op
+tail, halve a weight) and replayed bit-identically from its artifact with
+no RNG in the loop. Randomness lives only in :func:`generate_scenario`,
+which is a pure function of its seed (SplitMix64 child seeds per aspect,
+the same scheme :mod:`repro.faults.plan` uses), so corpus entries are just
+seeds.
+
+Ops
+---
+``("enq", flow_index, size)``
+    Enqueue one packet of ``size`` bytes on the indexed flow (a no-op
+    while the flow is churned out).
+``("deq",)``
+    One ``dequeue()`` call.
+``("drain",)``
+    Dequeue until the scheduler reports idle (an *idle phase*: the busy
+    period ends and timestamp schedulers reset their virtual clocks).
+``("leave", flow_index)`` / ``("join", flow_index)``
+    Churn: deregister / re-register the flow mid-run, exercising the
+    dynamic add/remove paths (SRR matrix surgery, WFQ heap staleness, DRR
+    active-list removal). ``join`` re-adds with the original weight.
+
+Every scenario ends with an implicit final drain; the runner records the
+departure sequence of that drain for the fluid-lag oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..harness.sweep import child_seed
+
+__all__ = ["FlowDef", "Scenario", "generate_scenario"]
+
+#: Schema tag for scenario JSON blocks inside repro artifacts.
+SCENARIO_SCHEMA = "repro.conformance/scenario/v1"
+
+#: Packet-size mixes the generator draws from (bytes). ``quantum`` stays
+#: >= the largest size so the byte-credit disciplines keep their O(1)
+#: "at least one packet per visit" property.
+_SIZE_MIXES: Tuple[Tuple[int, ...], ...] = (
+    (200,),                      # the paper's fixed-size model
+    (1500,),                     # MTU-sized
+    (40, 1500),                  # bimodal ACK/MTU
+    (40, 200, 576, 1500),        # classic internet mix
+)
+
+#: Child-seed indices per generator aspect (append-only, like
+#: ``repro.faults.plan._CATEGORY_INDEX`` — reordering would change every
+#: existing corpus seed's scenario).
+_ASPECT = {"shape": 0, "weights": 1, "ops": 2, "sizes": 3}
+
+
+@dataclass(frozen=True)
+class FlowDef:
+    """One flow: integer weight plus the float weight variant.
+
+    ``weight`` is what integer-coded disciplines (SRR, WRR, RRR, G-3)
+    receive; ``frac_weight`` is what real-weight disciplines (DRR and the
+    timestamp family) receive. The generator usually sets them equal, but
+    a *fractional* scenario gives ``frac_weight`` values well below 1 —
+    the regime where DRR's credit truncation bug lived.
+    """
+
+    flow_id: str
+    weight: int
+    frac_weight: float
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"flow_id": self.flow_id, "weight": self.weight,
+                "frac_weight": self.frac_weight}
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "FlowDef":
+        return cls(
+            flow_id=str(data["flow_id"]),
+            weight=int(data["weight"]),
+            frac_weight=float(data.get("frac_weight", data["weight"])),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An explicit, replayable fuzz scenario (see module docstring)."""
+
+    seed: int
+    flows: Tuple[FlowDef, ...]
+    ops: Tuple[Tuple, ...]
+    quantum: int = 1500
+
+    @property
+    def max_packet(self) -> int:
+        """Largest packet size any op enqueues (quantum floor)."""
+        return max((op[2] for op in self.ops if op[0] == "enq"), default=0)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "seed": self.seed,
+            "quantum": self.quantum,
+            "flows": [f.to_json_dict() for f in self.flows],
+            "ops": [list(op) for op in self.ops],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        schema = data.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported scenario schema {schema!r}"
+            )
+        flows = tuple(FlowDef.from_json_dict(f) for f in data.get("flows", ()))
+        ops = tuple(
+            (op[0],) + tuple(int(x) for x in op[1:]) for op in data.get("ops", ())
+        )
+        return cls(
+            seed=int(data.get("seed", 0)),
+            flows=flows,
+            ops=ops,
+            quantum=int(data.get("quantum", 1500)),
+        )
+
+    # -- structural edits (used by the shrinker) --------------------------
+
+    def without_flow(self, index: int) -> "Scenario":
+        """Drop one flow and every op that references it."""
+        kept = [f for i, f in enumerate(self.flows) if i != index]
+
+        def remap(op: Tuple) -> Optional[Tuple]:
+            if len(op) < 2:
+                return op
+            idx = op[1]
+            if idx == index:
+                return None
+            return (op[0], idx - 1 if idx > index else idx) + tuple(op[2:])
+
+        ops = tuple(o for o in map(remap, self.ops) if o is not None)
+        return Scenario(self.seed, tuple(kept), ops, self.quantum)
+
+    def with_ops(self, ops: Sequence[Tuple]) -> "Scenario":
+        return Scenario(self.seed, self.flows, tuple(ops), self.quantum)
+
+    def with_weights(
+        self, weights: Sequence[int], frac_weights: Sequence[float]
+    ) -> "Scenario":
+        flows = tuple(
+            FlowDef(f.flow_id, int(w), float(fw))
+            for f, w, fw in zip(self.flows, weights, frac_weights)
+        )
+        return Scenario(self.seed, flows, self.ops, self.quantum)
+
+
+def generate_scenario(seed: int, *, quick: bool = False) -> Scenario:
+    """Derive one scenario from ``seed`` (pure; no global RNG).
+
+    Shape knobs drawn per seed: flow count, integer weights (skewed to
+    small values, occasionally heavy), whether the scenario is
+    *fractional* (float weights down to ``1e-4`` for the real-weight
+    disciplines), a packet-size mix, the op budget, and whether churn /
+    idle phases occur.
+    """
+    shape = random.Random(child_seed(seed, _ASPECT["shape"]))
+    wrng = random.Random(child_seed(seed, _ASPECT["weights"]))
+    oprng = random.Random(child_seed(seed, _ASPECT["ops"]))
+    srng = random.Random(child_seed(seed, _ASPECT["sizes"]))
+
+    n_flows = shape.randint(1, 4 if quick else 8)
+    fractional = shape.random() < 0.35
+    sizes = _SIZE_MIXES[shape.randrange(len(_SIZE_MIXES))]
+    churny = shape.random() < 0.4
+    idle_phases = shape.random() < 0.3
+    op_budget = shape.randint(40, 160 if quick else 480)
+
+    flows: List[FlowDef] = []
+    for i in range(n_flows):
+        # Skewed integer weights: mostly small, sometimes a heavy flow
+        # (drives SRR order changes when it drains).
+        if wrng.random() < 0.15:
+            weight = 1 << wrng.randint(3, 6)
+        else:
+            weight = wrng.randint(1, 9)
+        if fractional:
+            # Log-uniform in [1e-4, 4): well below one quantum-byte per
+            # round at the low end (the DRR truncation regime).
+            frac = 10.0 ** wrng.uniform(-4.0, 0.6)
+        else:
+            frac = float(weight)
+        flows.append(FlowDef(f"f{i}", weight, round(frac, 8)))
+
+    ops: List[Tuple] = []
+    out = set()  # churned-out flow indices
+    # Warm-up: give every flow an initial backlog so the final drain has
+    # substance even for tiny op budgets.
+    for i in range(n_flows):
+        for _ in range(oprng.randint(1, 3)):
+            ops.append(("enq", i, srng.choice(sizes)))
+    for _ in range(op_budget):
+        r = oprng.random()
+        if churny and r < 0.04:
+            candidates = [i for i in range(n_flows) if i not in out]
+            if len(candidates) > 1:
+                i = oprng.choice(candidates)
+                out.add(i)
+                ops.append(("leave", i))
+                continue
+        if churny and r < 0.08 and out:
+            i = oprng.choice(sorted(out))
+            out.discard(i)
+            ops.append(("join", i))
+            continue
+        if idle_phases and r < 0.10:
+            ops.append(("drain",))
+            continue
+        if r < 0.55:
+            i = oprng.randrange(n_flows)
+            ops.append(("enq", i, srng.choice(sizes)))
+        else:
+            ops.append(("deq",))
+    # Bring every churned-out flow back so the final drain covers all
+    # flows (and the lag oracle sees stable membership).
+    for i in sorted(out):
+        ops.append(("join", i))
+    return Scenario(seed=seed, flows=tuple(flows), ops=tuple(ops))

@@ -224,7 +224,10 @@ class InvariantGuard:
                     "drr_idle_credit", flow=flow.flow_id,
                     deficit=flow.deficit,
                 )
-            bound = int(flow.weight * sched.quantum) + self._max_packet_seen
+            # Exact fractional credit: just before a send the deficit can
+            # reach (head size - epsilon) + one grant, so the bound must
+            # not truncate the grant.
+            bound = flow.weight * sched.quantum + self._max_packet_seen
             if not 0 <= flow.deficit <= bound:
                 self._fail(
                     "drr_deficit_bound", flow=flow.flow_id,

@@ -11,6 +11,8 @@ tooling can ingest harness runs directly.
 
 from __future__ import annotations
 
+import itertools
+import os
 import platform
 from datetime import datetime, timezone
 from pathlib import Path
@@ -63,16 +65,24 @@ def benchmark_summary(result: RunResult) -> Dict[str, Any]:
 
 
 def artifact_path(
-    result: RunResult, results_dir: Union[str, Path] = "results"
+    result: RunResult,
+    results_dir: Union[str, Path] = "results",
+    attempt: int = 0,
 ) -> Path:
-    """``<results_dir>/<exp>/<timestamp>-<seed>.json`` for this run."""
+    """``<results_dir>/<exp>/<timestamp>-<seed>[-<attempt>].json``.
+
+    ``attempt`` uniquifies collisions: two runs of the same seed within
+    one timestamp granule (back-to-back CI retries, fast sweeps) would
+    otherwise map to the same name and silently overwrite each other.
+    """
     started = result.started_at
     try:
         ts = datetime.fromisoformat(started)
     except (TypeError, ValueError):
         ts = datetime.now(timezone.utc)
     stamp = ts.strftime("%Y%m%dT%H%M%S.%f")
-    name = f"{stamp}-{result.config.seed}.json"
+    suffix = "" if attempt == 0 else f"-{attempt}"
+    name = f"{stamp}-{result.config.seed}{suffix}.json"
     return Path(results_dir) / result.experiment / name
 
 
@@ -82,12 +92,23 @@ def write_artifact(
     """Persist one run atomically; returns the path written.
 
     Atomic (tmp + ``os.replace``) so a crash mid-write leaves no
-    truncated artifact behind for :func:`load_artifact` to choke on.
+    truncated artifact behind for :func:`load_artifact` to choke on. The
+    target name is claimed with ``O_EXCL`` first, walking the attempt
+    counter past existing files, so a same-timestamp same-seed rerun gets
+    a fresh ``-<n>`` name instead of clobbering the earlier artifact.
     """
-    path = artifact_path(result, results_dir)
     payload = result.to_json_dict()
     payload["summary"] = benchmark_summary(result)
-    return atomic_write_json(path, payload)
+    for attempt in itertools.count():
+        path = artifact_path(result, results_dir, attempt)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return atomic_write_json(path, payload)
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def load_artifact(path: Union[str, Path]) -> RunResult:

@@ -7,6 +7,15 @@ transmits head-of-line packets while the credit covers them, carrying any
 remainder to its next visit. With ``quantum >= max packet size`` each
 visit sends at least one packet, giving O(1) amortised work per packet.
 
+Credit is accumulated *exactly* (as a float for fractional weights): a
+flow whose per-visit grant ``weight * quantum`` is below one byte simply
+accrues credit across visits until it covers the head-of-line packet.
+Truncating the grant to an int instead — as a first version of this file
+did — starves such flows forever and turns ``dequeue()`` into an
+unbounded rotate loop once every other flow has drained. Weights so small
+that the accrual itself would be unbounded are rejected at ``add_flow``
+time (see ``MIN_VISIT_CREDIT``).
+
 DRR's weakness relative to SRR is *latency and burstiness*: a flow's whole
 per-round allocation is delivered in one contiguous burst, so the gap
 between a flow's bursts grows with the number of active flows and with
@@ -26,6 +35,13 @@ from ..core.packet import Packet
 __all__ = ["DRRScheduler"]
 
 
+#: Smallest accepted per-visit credit ``weight * quantum`` in bytes.
+#: Below this, serving a single MTU packet would take millions of active-
+#: list rotations — indistinguishable from a livelock in practice — so the
+#: configuration is rejected up front instead.
+MIN_VISIT_CREDIT = 2.0 ** -20
+
+
 class DRRScheduler(FlowTableScheduler):
     """Deficit Round Robin with per-flow ``weight * quantum`` byte credit."""
 
@@ -41,6 +57,16 @@ class DRRScheduler(FlowTableScheduler):
         # True while the head flow has already been granted this round's
         # credit (it is mid-burst across dequeue() calls).
         self._head_charged = False
+
+    def _on_flow_added(self, flow: FlowState) -> None:
+        if flow.weight * self.quantum < MIN_VISIT_CREDIT:
+            del self._flows[flow.flow_id]
+            raise ConfigurationError(
+                f"flow {flow.flow_id!r}: per-visit credit "
+                f"{flow.weight} * {self.quantum} is below "
+                f"MIN_VISIT_CREDIT={MIN_VISIT_CREDIT}; raise the weight or "
+                f"the quantum"
+            )
 
     def _on_backlogged(self, flow: FlowState) -> None:
         if flow.flow_id not in self._active_set:
@@ -62,7 +88,10 @@ class DRRScheduler(FlowTableScheduler):
             ops.bump()
             flow = active[0]
             if not self._head_charged:
-                flow.deficit += int(flow.weight * self.quantum)
+                # Exact (possibly fractional) credit. int() truncation here
+                # would grant 0 bytes forever when weight * quantum < 1 and
+                # livelock the rotate loop below.
+                flow.deficit += flow.weight * self.quantum
                 self._head_charged = True
             if flow.head_size() <= flow.deficit:
                 packet = flow.take()

@@ -60,7 +60,14 @@ class WFQScheduler(FlowTableScheduler):
         # processing, plus the current GPS-backlogged weight sum.
         self._gps = CountingHeap(op_counter=self._ops)
         self._gps_weight = 0.0
-        self._gps_members = set()
+        # flow_id -> FlowState of the GPS-backlogged flows. Mapping to the
+        # *object* (not a bare id set) lets heap entries be validated by
+        # identity: when a flow is removed and a new flow re-registers
+        # under the same id mid-busy-period, the old flow's stale heap
+        # entries must not pass for the new member — matching on id alone
+        # would subtract the old weight from `_gps_weight` and evict the
+        # new flow's membership, corrupting the virtual clock.
+        self._gps_members: dict = {}
         # Deterministic tie-break for equal GPS stamps: push order, not
         # id(), whose values depend on process allocation history and
         # would make operation counts irreproducible.
@@ -79,8 +86,8 @@ class WFQScheduler(FlowTableScheduler):
         # (Re-)register the flow's GPS backlog horizon.
         self._gps_seq += 1
         self._gps.push((finish, self._gps_seq, flow))
-        if packet.flow_id not in self._gps_members:
-            self._gps_members.add(packet.flow_id)
+        if self._gps_members.get(packet.flow_id) is not flow:
+            self._gps_members[packet.flow_id] = flow
             self._gps_weight += flow.weight
         return True
 
@@ -110,7 +117,7 @@ class WFQScheduler(FlowTableScheduler):
         while remaining > 0.0 and gps:
             stamp, _tie, flow = gps.peek()
             if (
-                flow.flow_id not in self._gps_members
+                self._gps_members.get(flow.flow_id) is not flow
                 or stamp < flow.finish_tag
             ):
                 # Superseded entry: the flow received later arrivals (or
@@ -128,7 +135,7 @@ class WFQScheduler(FlowTableScheduler):
             self._vtime = stamp
             remaining -= needed
             gps.pop()
-            self._gps_members.discard(flow.flow_id)
+            del self._gps_members[flow.flow_id]
             self._gps_weight -= flow.weight
         if remaining > 0.0 and not gps:
             # GPS idle but real packets remained (can only happen through
@@ -146,9 +153,10 @@ class WFQScheduler(FlowTableScheduler):
 
     def _on_flow_removed(self, flow: FlowState) -> None:
         # Service-heap entries go stale and are skipped lazily; the GPS
-        # horizon entry likewise. Remove its weight contribution now.
-        if flow.flow_id in self._gps_members:
-            self._gps_members.discard(flow.flow_id)
+        # horizon entry likewise. Remove its weight contribution now —
+        # guarding by identity so a later same-id member is untouched.
+        if self._gps_members.get(flow.flow_id) is flow:
+            del self._gps_members[flow.flow_id]
             self._gps_weight -= flow.weight
         flow.finish_tag = 0.0
 

@@ -1,0 +1,91 @@
+"""Scenario generation: determinism, JSON round-trip, structural edits."""
+
+import pytest
+
+from repro.conformance.scenario import (
+    FlowDef,
+    Scenario,
+    generate_scenario,
+)
+from repro.core import ConfigurationError
+
+
+class TestGenerator:
+    def test_pure_function_of_seed(self):
+        for seed in range(20):
+            assert generate_scenario(seed) == generate_scenario(seed)
+            assert generate_scenario(seed, quick=True) == \
+                generate_scenario(seed, quick=True)
+
+    def test_seeds_differ(self):
+        scenarios = {generate_scenario(s).ops for s in range(20)}
+        assert len(scenarios) > 15
+
+    def test_quick_caps_shape(self):
+        for seed in range(50):
+            sc = generate_scenario(seed, quick=True)
+            assert 1 <= len(sc.flows) <= 4
+
+    def test_every_flow_backlogged_at_warmup(self):
+        for seed in range(30):
+            sc = generate_scenario(seed)
+            enq_flows = {op[1] for op in sc.ops if op[0] == "enq"}
+            assert enq_flows == set(range(len(sc.flows)))
+
+    def test_quantum_covers_max_packet(self):
+        for seed in range(50):
+            sc = generate_scenario(seed)
+            assert sc.max_packet <= sc.quantum
+
+    def test_churned_flows_rejoin_before_final_drain(self):
+        # Membership at the end must include every flow: the lag oracle
+        # assumes the final drain covers the full flow set.
+        for seed in range(60):
+            sc = generate_scenario(seed)
+            out = set()
+            for op in sc.ops:
+                if op[0] == "leave":
+                    out.add(op[1])
+                elif op[0] == "join":
+                    out.discard(op[1])
+            assert not out
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        for seed in range(10):
+            sc = generate_scenario(seed)
+            assert Scenario.from_json_dict(sc.to_json_dict()) == sc
+
+    def test_rejects_unknown_schema(self):
+        data = generate_scenario(0).to_json_dict()
+        data["schema"] = "something/else"
+        with pytest.raises(ConfigurationError):
+            Scenario.from_json_dict(data)
+
+
+class TestStructuralEdits:
+    def _scenario(self):
+        flows = (FlowDef("a", 1, 1.0), FlowDef("b", 2, 2.0),
+                 FlowDef("c", 3, 3.0))
+        ops = (("enq", 0, 100), ("enq", 1, 200), ("leave", 2),
+               ("deq",), ("enq", 2, 300), ("join", 2))
+        return Scenario(7, flows, ops)
+
+    def test_without_flow_remaps_indices(self):
+        sc = self._scenario().without_flow(1)
+        assert [f.flow_id for f in sc.flows] == ["a", "c"]
+        # Ops referencing flow 1 are gone; flow 2's index shifted to 1.
+        assert sc.ops == (("enq", 0, 100), ("leave", 1), ("deq",),
+                          ("enq", 1, 300), ("join", 1))
+
+    def test_with_weights_preserves_ids(self):
+        sc = self._scenario().with_weights([5, 6, 7], [0.5, 0.6, 0.7])
+        assert [f.weight for f in sc.flows] == [5, 6, 7]
+        assert [f.frac_weight for f in sc.flows] == [0.5, 0.6, 0.7]
+        assert [f.flow_id for f in sc.flows] == ["a", "b", "c"]
+
+    def test_with_ops(self):
+        sc = self._scenario().with_ops((("deq",),))
+        assert sc.ops == (("deq",),)
+        assert sc.flows == self._scenario().flows

@@ -1,0 +1,67 @@
+"""Shrinking: failing scenarios reduce to small, still-failing repros."""
+
+import pytest
+
+from repro.conformance.oracles import check_scenario
+from repro.conformance.runner import variant_by_name
+from repro.conformance.scenario import FlowDef, Scenario, generate_scenario
+from repro.conformance.shrink import failure_families, shrink
+from repro.schedulers.drr import DRRScheduler
+from repro.schedulers.registry import register_scheduler
+
+from .test_oracles import _TruncatingDRR
+
+
+@pytest.fixture
+def broken_drr():
+    register_scheduler("drr", _TruncatingDRR)
+    yield variant_by_name("drr")
+    register_scheduler("drr", DRRScheduler)
+
+
+def _failing_fractional_seed(variant, max_seed=400):
+    for seed in range(max_seed):
+        scenario = generate_scenario(seed, quick=True)
+        if not any(f.frac_weight < 1.0 / scenario.quantum
+                   for f in scenario.flows):
+            continue
+        violations = check_scenario(variant, scenario,
+                                    op_budget=100_000)
+        if violations:
+            return scenario, violations
+    raise AssertionError("no failing fractional seed found")
+
+
+class TestShrink:
+    def test_truncation_bug_shrinks_to_tiny_repro(self, broken_drr):
+        scenario, violations = _failing_fractional_seed(broken_drr)
+        small, small_violations = shrink(broken_drr, scenario, violations)
+        # Acceptance criterion: the canonical DRR truncation repro is at
+        # most 3 flows (one starved fractional flow is enough in theory).
+        assert len(small.flows) <= 3
+        assert len(small.ops) <= len(scenario.ops)
+        assert small_violations
+        assert failure_families(small_violations) & \
+            failure_families(violations)
+
+    def test_shrunk_repro_still_fails_at_full_budget(self, broken_drr):
+        scenario, violations = _failing_fractional_seed(broken_drr)
+        small, _ = shrink(broken_drr, scenario, violations)
+        assert check_scenario(broken_drr, small)
+
+    def test_passing_scenario_is_returned_unchanged(self):
+        variant = variant_by_name("srr")
+        scenario = generate_scenario(0, quick=True)
+        small, violations = shrink(variant, scenario, [])
+        assert small == scenario
+        assert violations == []
+
+    def test_shrink_never_drops_last_flow(self, broken_drr):
+        flows = (FlowDef("thin", 1, 0.0004),)
+        ops = (("enq", 0, 200), ("enq", 0, 200))
+        scenario = Scenario(9, flows, ops)
+        violations = check_scenario(broken_drr, scenario,
+                                    op_budget=100_000)
+        assert violations
+        small, _ = shrink(broken_drr, scenario, violations)
+        assert len(small.flows) == 1

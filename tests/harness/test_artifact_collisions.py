@@ -1,0 +1,54 @@
+"""Artifact filename collisions: same timestamp + seed must not clobber.
+
+``results/<exp>/<timestamp>-<seed>.json`` collides when two runs of the
+same seed land in one timestamp granule (back-to-back CI retries, fast
+sweeps). ``write_artifact`` now claims the name with ``O_EXCL`` and walks
+an attempt counter, so every run keeps its own artifact.
+"""
+
+from repro.bench.runner import run_config
+from repro.harness import artifact_path, load_artifact, write_artifact
+
+
+def _result():
+    result = run_config("e1", seed=9, overrides={"max_order": 3})
+    # Pin the timestamp so both writes target the same base name, the
+    # worst case the attempt counter exists for.
+    result.started_at = "2026-01-02T03:04:05.678901+00:00"
+    return result
+
+
+class TestCollisionSuffix:
+    def test_back_to_back_runs_yield_two_files(self, tmp_path):
+        first = write_artifact(_result(), results_dir=tmp_path)
+        second = write_artifact(_result(), results_dir=tmp_path)
+        assert first != second
+        assert first.exists() and second.exists()
+        assert load_artifact(first).config.seed == 9
+        assert load_artifact(second).config.seed == 9
+
+    def test_attempt_counter_walks_past_many_collisions(self, tmp_path):
+        paths = [write_artifact(_result(), results_dir=tmp_path)
+                 for _ in range(4)]
+        assert len(set(paths)) == 4
+        base = paths[0].name
+        assert base.endswith("-9.json")
+        assert [p.name for p in paths[1:]] == [
+            base.replace("-9.json", f"-9-{i}.json") for i in (1, 2, 3)]
+
+    def test_artifact_path_attempt_suffix(self):
+        result = _result()
+        p0 = artifact_path(result, "results")
+        p1 = artifact_path(result, "results", attempt=1)
+        assert p1.name == p0.name.replace(".json", "-1.json")
+        assert p0.parent == p1.parent
+
+    def test_distinct_timestamps_keep_plain_names(self, tmp_path):
+        a = _result()
+        b = _result()
+        b.started_at = "2026-01-02T03:04:06.000000+00:00"
+        pa = write_artifact(a, results_dir=tmp_path)
+        pb = write_artifact(b, results_dir=tmp_path)
+        assert pa != pb
+        assert not pa.name.endswith("-9-1.json")
+        assert not pb.name.endswith("-9-1.json")

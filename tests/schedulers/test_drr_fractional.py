@@ -1,0 +1,101 @@
+"""DRR fractional-weight credit: the truncation-livelock regression.
+
+The original implementation granted ``int(weight * quantum)`` bytes per
+visit — zero forever when ``weight * quantum < 1`` — so a fractional-
+weight flow was never served and ``dequeue()`` span in the rotate loop
+unboundedly once every other flow had drained. Credit is now accumulated
+exactly; these tests pin the fix for single- and multi-flow cases and the
+``MIN_VISIT_CREDIT`` rejection of pathologically small grants.
+"""
+
+import pytest
+
+from repro.core import ConfigurationError, Packet
+from repro.core.opcount import OpCounter
+from repro.schedulers import create_scheduler
+from repro.schedulers.drr import MIN_VISIT_CREDIT
+
+
+def drain(sched, limit=100000):
+    out = []
+    for _ in range(limit):
+        p = sched.dequeue()
+        if p is None:
+            break
+        out.append(p)
+    return out
+
+
+class TestFractionalCredit:
+    def test_single_fractional_flow_drains(self):
+        # weight * quantum = 0.6 bytes/visit: int() truncation would
+        # grant 0 forever; exact accumulation serves a packet every
+        # ~334 visits.
+        sched = create_scheduler("drr", quantum=1500)
+        sched.add_flow("thin", 0.0004)
+        for _ in range(3):
+            assert sched.enqueue(Packet("thin", 200))
+        served = drain(sched)
+        assert [p.size for p in served] == [200, 200, 200]
+        assert sched.backlog == 0
+
+    def test_fractional_flow_not_starved_among_integer_flows(self):
+        sched = create_scheduler("drr", quantum=1500)
+        sched.add_flow("fat", 4.0)
+        sched.add_flow("thin", 0.0004)
+        for _ in range(10):
+            sched.enqueue(Packet("fat", 1500))
+        for _ in range(2):
+            sched.enqueue(Packet("thin", 200))
+        served = drain(sched)
+        assert sum(1 for p in served if p.flow_id == "thin") == 2
+        assert sched.backlog == 0
+
+    def test_dequeue_work_is_bounded_per_packet(self):
+        # The rotate loop must terminate: ops per packet bounded by
+        # ~quantum / (weight * quantum) rotations, not infinite.
+        counter = OpCounter()
+        sched = create_scheduler("drr", quantum=1500, op_counter=counter)
+        sched.add_flow("thin", 0.01)        # 15 bytes of credit per visit
+        sched.enqueue(Packet("thin", 1500))
+        before = counter.count
+        assert sched.dequeue() is not None
+        assert counter.count - before < 500  # ~100 visits expected
+
+    def test_credit_resets_when_flow_idles(self):
+        sched = create_scheduler("drr", quantum=1500)
+        sched.add_flow("f", 0.5)
+        sched.enqueue(Packet("f", 100))
+        assert sched.dequeue().size == 100
+        # Shreedhar-Varghese: leftover credit must not survive idling.
+        assert sched.flow_state("f").deficit == 0
+
+    def test_fairness_ratio_respected_over_long_run(self):
+        sched = create_scheduler("drr", quantum=1500)
+        sched.add_flow("a", 0.3)
+        sched.add_flow("b", 0.1)
+        for _ in range(80):
+            sched.enqueue(Packet("a", 300))
+            sched.enqueue(Packet("b", 300))
+        served = drain(sched)
+        first = served[: len(served) // 2]
+        a = sum(p.size for p in first if p.flow_id == "a")
+        b = sum(p.size for p in first if p.flow_id == "b")
+        assert a / b == pytest.approx(3.0, rel=0.35)
+
+
+class TestMinVisitCredit:
+    def test_rejects_pathologically_small_grant(self):
+        sched = create_scheduler("drr", quantum=1500)
+        with pytest.raises(ConfigurationError):
+            sched.add_flow("dust", MIN_VISIT_CREDIT / 3000.0)
+
+    def test_rejection_leaves_no_half_registered_flow(self):
+        sched = create_scheduler("drr", quantum=1500)
+        with pytest.raises(ConfigurationError):
+            sched.add_flow("dust", 1e-12)
+        assert sched.flow_count == 0
+        # The same id can be registered with a sane weight afterwards.
+        sched.add_flow("dust", 1.0)
+        sched.enqueue(Packet("dust", 100))
+        assert sched.dequeue().size == 100
