@@ -49,9 +49,15 @@ def check_seed(
     quick: bool = False,
     variant_names: Optional[Sequence[str]] = None,
     engine_check: bool = False,
+    core: str = "object",
 ) -> Dict[str, Any]:
     """Fuzz one seed across variants (module-level: sweep workers pickle
-    it). Returns a JSON-able verdict record with a content digest."""
+    it). Returns a JSON-able verdict record with a content digest.
+
+    ``core="fast"`` swaps every fast-capable variant onto its flat-core
+    twin while keeping variant names — the digest is over the *names* and
+    service orders, so a fast run of the corpus must produce the same
+    digest as an object run (the PR-blocking cross-core check)."""
     scenario = generate_scenario(seed, quick=quick)
     names = list(variant_names) if variant_names else [
         v.name for v in VARIANTS()
@@ -60,10 +66,10 @@ def check_seed(
     hasher = hashlib.sha256()
     for name in names:
         variant = variant_by_name(name)
-        run = run_scenario(variant, scenario)
+        run = run_scenario(variant, scenario, core=core)
         hasher.update(repr((seed, name, run.order_key())).encode())
         for v in check_scenario(variant, scenario, run=run,
-                                engine_check=engine_check):
+                                engine_check=engine_check, core=core):
             violations.append(v.to_json_dict())
     return {
         "seed": seed,
@@ -88,6 +94,7 @@ def _fail_and_shrink(
     results_dir: Path,
     quiet: bool,
     shrunk_signatures: set,
+    core: str = "object",
 ) -> List[Path]:
     """Shrink each failing variant of one seed; write repro artifacts."""
     seed = record["seed"]
@@ -96,7 +103,7 @@ def _fail_and_shrink(
     failing_variants = sorted({v["variant"] for v in record["violations"]})
     for name in failing_variants:
         variant = variant_by_name(name)
-        violations = check_scenario(variant, scenario)
+        violations = check_scenario(variant, scenario, core=core)
         if not violations:
             continue  # only tripped the engine oracle; keep full scenario
         signature = _failure_signature(name, violations)
@@ -136,6 +143,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--variants", default=None,
                         help="comma-separated variant subset "
                              "(default: all)")
+    parser.add_argument("--core", choices=("object", "fast"),
+                        default="object",
+                        help="scheduler core to drive: the reference "
+                             "object core or the flat fastpath twins "
+                             "(same variant names, comparable digests)")
     parser.add_argument("--engine-every", type=int, default=10,
                         help="run the heap-vs-calendar engine oracle on "
                              "every Nth seed (0 disables; default 10)")
@@ -191,6 +203,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.quick,
             variant_names,
             bool(args.engine_every) and i % args.engine_every == 0,
+            args.core,
         )
         for i, seed in enumerate(seeds)
     ]
@@ -207,12 +220,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             artifacts.extend(
                 _fail_and_shrink(record, args.quick, results_dir,
                                  args.quiet or args.json,
-                                 shrunk_signatures)
+                                 shrunk_signatures, core=args.core)
             )
     n_violations = sum(len(r["violations"]) for r in records)
     summary = {
         "seeds": len(seeds),
         "quick": args.quick,
+        "core": args.core,
         "variants": variant_names or [v.name for v in VARIANTS()],
         "violations": n_violations,
         "failing_seeds": [r["seed"] for r in failing],

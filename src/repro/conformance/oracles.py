@@ -380,6 +380,7 @@ def check_metamorphic(
     run: ScenarioRun,
     *,
     op_budget: int = OP_BUDGET,
+    core: str = "object",
 ) -> List[Violation]:
     if run.livelock_at is not None:
         return []  # conservation already failed; replays would too
@@ -388,7 +389,7 @@ def check_metamorphic(
     # Relabeling: flow identity must be opaque — the service order over
     # flow *indices* must be bit-identical.
     relabel_run = run_scenario(variant, _relabeled(scenario),
-                               op_budget=op_budget)
+                               op_budget=op_budget, core=core)
     if relabel_run.order_key() != run.order_key():
         diverge = _first_divergence(run, relabel_run)
         out.append(Violation(
@@ -403,7 +404,8 @@ def check_metamorphic(
     # Uniform weight doubling.
     scaled = _scaled(scenario)
     if max(f.weight for f in scenario.flows) * 2 <= 1 << 62:
-        scaled_run = run_scenario(variant, scaled, op_budget=op_budget)
+        scaled_run = run_scenario(variant, scaled, op_budget=op_budget,
+                                  core=core)
         if variant.name in _SCALE_EXACT:
             if scaled_run.order_key() != run.order_key():
                 diverge = _first_divergence(run, scaled_run)
@@ -463,7 +465,7 @@ def _first_divergence(a: ScenarioRun, b: ScenarioRun) -> int:
 # -- engine (heap vs calendar) replay ---------------------------------------
 
 def check_engine_equivalence(
-    variant: Variant, scenario: Scenario
+    variant: Variant, scenario: Scenario, core: str = "object"
 ) -> List[Violation]:
     """Replay a derived network scenario under both event-queue backends.
 
@@ -483,7 +485,7 @@ def check_engine_equivalence(
     records = []
     for engine in ("heap", "calendar"):
         try:
-            records.append(_engine_run(variant, scenario, engine))
+            records.append(_engine_run(variant, scenario, engine, core))
         except LivelockError:
             return [Violation(
                 "metamorphic",
@@ -509,11 +511,11 @@ def check_engine_equivalence(
 
 
 def _engine_run(
-    variant: Variant, scenario: Scenario, engine: str
+    variant: Variant, scenario: Scenario, engine: str, core: str = "object"
 ) -> List[Tuple]:
     from ..net.scenario import Network
     from ..net.sources import CBRSource
-    from .runner import _BudgetedOpCounter
+    from .runner import _BudgetedOpCounter, resolve_scheduler
 
     link_bps = 2_000_000.0
     kwargs = dict(variant.kwargs)
@@ -523,7 +525,7 @@ def _engine_run(
     # with the floored weights below stay well under 10^5 ops total.
     kwargs["op_counter"] = _BudgetedOpCounter(2_000_000)
     net = Network(
-        default_scheduler=variant.scheduler,
+        default_scheduler=resolve_scheduler(variant.scheduler, core),
         default_scheduler_kwargs=kwargs,
         engine=engine,
     )
@@ -573,6 +575,7 @@ def check_scenario(
     engine_check: bool = False,
     run: Optional[ScenarioRun] = None,
     op_budget: int = OP_BUDGET,
+    core: str = "object",
 ) -> List[Violation]:
     """Run one scenario through one variant and every requested oracle.
 
@@ -582,7 +585,7 @@ def check_scenario(
     (the shrinker lowers it so livelocked candidates stay cheap).
     """
     if run is None:
-        run = run_scenario(variant, scenario, op_budget=op_budget)
+        run = run_scenario(variant, scenario, op_budget=op_budget, core=core)
     out: List[Violation] = []
     if "conservation" in families:
         out.extend(check_conservation(variant, scenario, run))
@@ -590,10 +593,10 @@ def check_scenario(
         out.extend(check_fluid_lag(variant, scenario, run))
     if "metamorphic" in families:
         out.extend(check_metamorphic(variant, scenario, run,
-                                     op_budget=op_budget))
+                                     op_budget=op_budget, core=core))
         # Engine replay only on otherwise-clean runs: a scheduler the
         # other oracles already condemned makes backend comparison moot
         # (and a livelocked one would burn the engine backstop budget).
         if engine_check and not out:
-            out.extend(check_engine_equivalence(variant, scenario))
+            out.extend(check_engine_equivalence(variant, scenario, core))
     return out

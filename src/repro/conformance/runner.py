@@ -32,6 +32,7 @@ __all__ = [
     "Variant",
     "VARIANTS",
     "variant_by_name",
+    "resolve_scheduler",
     "LivelockError",
     "Departure",
     "ScenarioRun",
@@ -112,6 +113,11 @@ def _build_variants() -> Tuple[Variant, ...]:
             fractional=name in fractional,
         )
         for name in available_schedulers()
+        # The flat-core twins are not separate variants: the same variant
+        # list is replayed with core="fast" (``--core fast``), keeping
+        # variant *names* — and therefore verdict digests — comparable
+        # across cores.
+        if not name.endswith(":fast")
     ]
     variants.append(
         Variant(name="srr:deficit", scheduler="srr",
@@ -186,11 +192,29 @@ class ScenarioRun:
         return tuple((d.flow_index, d.size) for d in self.departures)
 
 
+def resolve_scheduler(name: str, core: str = "object") -> str:
+    """Map a registry name to the requested core's implementation.
+
+    ``core="object"`` is the identity; ``core="fast"`` swaps in the flat
+    twin (``srr`` -> ``srr:fast``) where one exists and leaves every
+    other discipline on the object core — so a fast-core corpus run
+    covers the identical variant list under the identical names.
+    """
+    if core == "object":
+        return name
+    if core != "fast":
+        raise ReproError(f"unknown scheduler core {core!r}")
+    from ..fastpath import FAST_CORES
+
+    return f"{name}:fast" if name in FAST_CORES else name
+
+
 def run_scenario(
     variant: Variant,
     scenario: Scenario,
     *,
     op_budget: int = OP_BUDGET,
+    core: str = "object",
 ) -> ScenarioRun:
     """Execute ``scenario`` on ``variant``; never raises on scheduler
     misbehaviour — watchdog trips and conservation breaches are recorded
@@ -200,7 +224,7 @@ def run_scenario(
     if variant.scheduler in ("drr", "srr"):
         quantum_kwargs["quantum"] = scenario.quantum
     sched = create_scheduler(
-        variant.scheduler,
+        resolve_scheduler(variant.scheduler, core),
         op_counter=ops_counter,
         **dict(variant.kwargs),
         **quantum_kwargs,

@@ -1,0 +1,62 @@
+"""Flat array-of-struct scheduler cores (the dequeue fastpath).
+
+Everything in this package re-implements existing disciplines on flat
+per-flow columns (:mod:`repro.fastpath.state`) instead of per-flow /
+per-packet heap objects:
+
+========================  =============================================
+``repro.fastpath.state``  :class:`FlowLanes` SoA columns + ring FIFOs
+``repro.fastpath.base``   :class:`FastScheduler` (flow table, datapaths)
+``repro.fastpath.srr``    ``srr:fast`` — SRR, flat weight matrix + WSS
+``repro.fastpath.roundrobin``  ``drr:fast`` / ``wrr:fast`` / ``rr:fast``
+``repro.fastpath.netloop``     lean object-free bottleneck simulation
+========================  =============================================
+
+The fast cores are drop-in :class:`~repro.core.interfaces.PacketScheduler`
+implementations — ``create_scheduler("srr:fast")`` works anywhere the
+object core's name does, including inside :class:`~repro.net.scenario.Network`
+— and are held bit-identical to their object twins by the differential
+conformance corpus (``python -m repro.conformance --core fast``). The
+object core remains the reference implementation; see ``docs/fastpath.md``
+for the layout, core-selection guidance, and PyPy notes.
+"""
+
+from __future__ import annotations
+
+from .base import FastScheduler
+from .roundrobin import FastDRRScheduler, FastRRScheduler, FastWRRScheduler
+from .srr import FastSRRScheduler
+from .state import FlowLanes, FlowView
+
+__all__ = [
+    "FastScheduler",
+    "FlowLanes",
+    "FlowView",
+    "FastSRRScheduler",
+    "FastDRRScheduler",
+    "FastWRRScheduler",
+    "FastRRScheduler",
+    "FAST_CORES",
+    "register_fastpath_schedulers",
+]
+
+#: Object-core name -> fast twin. The conformance ``--core fast`` switch
+#: and the benchmark harness both key off this mapping.
+FAST_CORES = {
+    "srr": FastSRRScheduler,
+    "drr": FastDRRScheduler,
+    "wrr": FastWRRScheduler,
+    "rr": FastRRScheduler,
+}
+
+
+def register_fastpath_schedulers() -> None:
+    """Register the ``<name>:fast`` factories (idempotent).
+
+    Called lazily by :func:`repro.schedulers.registry.create_scheduler`,
+    mirroring how the extensions package self-registers.
+    """
+    from ..schedulers.registry import register_scheduler
+
+    for cls in FAST_CORES.values():
+        register_scheduler(cls.name, cls)

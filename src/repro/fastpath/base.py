@@ -1,0 +1,200 @@
+"""Base class for flat-core schedulers.
+
+:class:`FastScheduler` plays the role
+:class:`~repro.core.interfaces.FlowTableScheduler` plays for the object
+core: flow registration/validation, exact backlog accounting, and the
+:class:`~repro.core.interfaces.PacketScheduler` contract — but all
+per-flow state lives in :class:`~repro.fastpath.state.FlowLanes` columns
+instead of per-flow objects.
+
+Two datapaths share one implementation:
+
+``enqueue(packet)`` / ``dequeue() -> Packet``
+    The registry-compatible object datapath. The packet object rides the
+    ring as the payload reference, so the very same object comes back out
+    of ``dequeue`` — uids, timestamps and identities are preserved, which
+    is what makes fast-vs-object conformance digests comparable and lets
+    any :class:`~repro.net.port.OutputPort` adopt a fast core unchanged.
+
+``push(slot, size, ref)`` / ``pull() -> (slot, size, ref)``
+    The scalar datapath: no :class:`~repro.core.packet.Packet` exists at
+    all. ``ref`` is whatever the caller wants back (a timestamp, a seq, a
+    tuple, or ``None``); the lean bottleneck loop
+    (:mod:`repro.fastpath.netloop`) and the object-free perf benchmarks
+    live here, materialising packets only at trace/sink boundaries.
+
+Subclasses implement ``pull`` plus three slot hooks mirroring the object
+core's flow hooks (``_on_slot_added`` / ``_on_slot_removed`` /
+``_on_backlogged_slot``) and keep elementary-op accounting via the same
+:class:`~repro.core.opcount.OpCounter` protocol, bumping at the same
+algorithmic steps as their object twins — so op-count profiles, livelock
+watchdogs, and invariant guards read identically across cores.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.errors import DuplicateFlowError, InvalidWeightError
+from ..core.flow import check_weight
+from ..core.interfaces import PacketScheduler
+from ..core.opcount import NULL_COUNTER, OpCounter
+from ..core.packet import Packet
+from .state import FlowLanes, FlowView
+
+__all__ = ["FastScheduler"]
+
+
+class FastScheduler(PacketScheduler):
+    """Column-backed scheduler base (see module docstring)."""
+
+    name: ClassVar[str] = "fast"
+    #: Marks flat-core schedulers for layers that special-case them.
+    is_fastpath: ClassVar[bool] = True
+
+    def __init__(self, *, op_counter: OpCounter = NULL_COUNTER) -> None:
+        self.lanes = FlowLanes()
+        self._backlog_packets = 0
+        self._backlog_bytes = 0
+        self._ops = op_counter
+
+    # -- flow management ---------------------------------------------------
+
+    def add_flow(
+        self,
+        flow_id: Hashable,
+        weight: float = 1,
+        *,
+        max_queue: Optional[int] = None,
+    ) -> None:
+        if flow_id in self.lanes.slot_of:
+            raise DuplicateFlowError(flow_id)
+        if self.requires_integer_weights:
+            weight = check_weight(weight)
+        else:
+            if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+                raise InvalidWeightError(f"weight must be numeric, got {weight!r}")
+            if weight <= 0:
+                raise InvalidWeightError(f"weight must be > 0, got {weight}")
+            weight = float(weight)
+        slot = self.lanes.alloc(flow_id, weight, max_queue=max_queue)
+        try:
+            self._on_slot_added(slot)
+        except Exception:
+            self.lanes.free(slot)
+            raise
+
+    def remove_flow(self, flow_id: Hashable) -> int:
+        slot = self.lanes.lookup(flow_id)
+        self._on_slot_removed(slot)
+        dropped = self.lanes.q_count[slot]
+        self._backlog_packets -= dropped
+        self._backlog_bytes -= self.lanes.q_bytes[slot]
+        self.lanes.free(slot)
+        return dropped
+
+    def has_flow(self, flow_id: Hashable) -> bool:
+        return flow_id in self.lanes.slot_of
+
+    def flow_ids(self) -> Iterable[Hashable]:
+        return self.lanes.slot_of.keys()
+
+    def flow_state(self, flow_id: Hashable) -> FlowView:
+        """Column-backed stand-in for the object core's ``flow_state``."""
+        return FlowView(self.lanes, self.lanes.lookup(flow_id))
+
+    def slot_of(self, flow_id: Hashable) -> int:
+        """The flow's column index (for the scalar datapath)."""
+        return self.lanes.lookup(flow_id)
+
+    @property
+    def flow_count(self) -> int:
+        return self.lanes.flow_count
+
+    # -- object datapath ---------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        lanes = self.lanes
+        slot = lanes.lookup(packet.flow_id)
+        was_backlogged = lanes.q_count[slot] > 0
+        if not lanes.push(slot, packet.size, packet):
+            return False
+        self._backlog_packets += 1
+        self._backlog_bytes += packet.size
+        if not was_backlogged:
+            self._on_backlogged_slot(slot)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        pulled = self.pull()
+        if pulled is None:
+            return None
+        return pulled[2]
+
+    # -- scalar datapath ---------------------------------------------------
+
+    def push(self, slot: int, size: int, ref: Any = None) -> bool:
+        """Scalar enqueue: no packet object, ``ref`` rides the ring."""
+        lanes = self.lanes
+        was_backlogged = lanes.q_count[slot] > 0
+        if not lanes.push(slot, size, ref):
+            return False
+        self._backlog_packets += 1
+        self._backlog_bytes += size
+        if not was_backlogged:
+            self._on_backlogged_slot(slot)
+        return True
+
+    def pull(self) -> Optional[Tuple[int, int, Any]]:
+        """Serve the next packet as ``(slot, size, ref)`` (or ``None``)."""
+        raise NotImplementedError
+
+    def pull_batch(self, budget: int) -> List[Tuple[int, int, Any]]:
+        """Serve up to ``budget`` packets in one call.
+
+        Semantically identical to ``budget`` repeated :meth:`pull` calls
+        (the loop walks the live structures, so interleaved arrivals are
+        observed exactly as the object core would); subclasses override
+        it with a fused loop that amortises per-call overhead across a
+        whole service burst (e.g. one WSS column visit).
+        """
+        out: List[Tuple[int, int, Any]] = []
+        pull = self.pull
+        for _ in range(budget):
+            pulled = pull()
+            if pulled is None:
+                break
+            out.append(pulled)
+        return out
+
+    def _departed(self, size: int) -> None:
+        """Account one departing packet (subclass pull() helper)."""
+        self._backlog_packets -= 1
+        self._backlog_bytes -= size
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        return self._backlog_packets
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._backlog_bytes
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _on_slot_added(self, slot: int) -> None:
+        """Hook: a flow landed in ``slot`` (default: nothing)."""
+
+    def _on_slot_removed(self, slot: int) -> None:
+        """Hook: ``slot`` is being torn down (columns still intact)."""
+
+    def _on_backlogged_slot(self, slot: int) -> None:
+        """Hook: ``slot`` went empty -> backlogged (default: nothing)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(flows={self.lanes.flow_count}, "
+            f"backlog={self._backlog_packets})"
+        )

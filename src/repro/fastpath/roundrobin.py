@@ -1,0 +1,235 @@
+"""DRR / WRR / plain RR on the flat core.
+
+The object baselines keep a ``deque`` of :class:`~repro.core.flow.FlowState`
+objects plus a mirror set for membership. Here the active list is a
+circular doubly-linked list threaded through two int columns (``_nxt`` /
+``_prv``, indexed by flow slot) with a single head pointer:
+
+* ``append``  = splice before the head (the circular list's tail),
+* ``popleft`` = unlink the head and advance it,
+* ``rotate(-1)`` = advance the head pointer — O(1), no data movement,
+* mid-list removal (flow deletion) = O(1) splice, versus the deque's
+  O(N) ``remove``.
+
+Service order and per-visit elementary-op counts are identical to the
+object implementations (:mod:`repro.schedulers.drr` / ``wrr`` / ``rr``) —
+the conformance corpus runs bit-identical across cores.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.opcount import NULL_COUNTER, OpCounter
+from ..schedulers.drr import MIN_VISIT_CREDIT
+from .base import FastScheduler
+
+__all__ = ["FastDRRScheduler", "FastWRRScheduler", "FastRRScheduler"]
+
+
+class _ActiveListScheduler(FastScheduler):
+    """Shared circular active list over slots (head = next flow to serve)."""
+
+    def __init__(self, *, op_counter: OpCounter = NULL_COUNTER) -> None:
+        super().__init__(op_counter=op_counter)
+        self._nxt: List[int] = []
+        self._prv: List[int] = []
+        self._in_active: List[bool] = []
+        self._head = -1
+
+    def _on_slot_added(self, slot: int) -> None:
+        while len(self._nxt) <= slot:
+            self._nxt.append(-1)
+            self._prv.append(-1)
+            self._in_active.append(False)
+
+    def _activate(self, slot: int) -> None:
+        """Append ``slot`` at the tail of the active ring."""
+        head = self._head
+        if head < 0:
+            self._nxt[slot] = self._prv[slot] = slot
+            self._head = slot
+        else:
+            tail = self._prv[head]
+            self._nxt[tail] = slot
+            self._prv[slot] = tail
+            self._nxt[slot] = head
+            self._prv[head] = slot
+        self._in_active[slot] = True
+
+    def _deactivate(self, slot: int) -> None:
+        """Unlink ``slot``; advances the head if it pointed here."""
+        nxt = self._nxt[slot]
+        if nxt == slot:
+            self._head = -1
+        else:
+            prv = self._prv[slot]
+            self._nxt[prv] = nxt
+            self._prv[nxt] = prv
+            if self._head == slot:
+                self._head = nxt
+        self._nxt[slot] = self._prv[slot] = -1
+        self._in_active[slot] = False
+
+    def active_slots(self) -> List[int]:
+        """Active slots in service order, head first (diagnostics/tests)."""
+        out: List[int] = []
+        slot = self._head
+        if slot < 0:
+            return out
+        while True:
+            out.append(slot)
+            slot = self._nxt[slot]
+            if slot == self._head:
+                return out
+
+
+class FastDRRScheduler(_ActiveListScheduler):
+    """Deficit Round Robin on flat columns (``drr:fast``).
+
+    See :class:`~repro.schedulers.drr.DRRScheduler` for the algorithm and
+    the exact-float credit rationale; the flat twin reproduces both.
+    """
+
+    name: ClassVar[str] = "drr:fast"
+
+    def __init__(
+        self, *, quantum: int = 1500, op_counter: OpCounter = NULL_COUNTER
+    ) -> None:
+        super().__init__(op_counter=op_counter)
+        if quantum < 1:
+            raise ConfigurationError(f"quantum must be >= 1, got {quantum}")
+        self.quantum = quantum
+        # True while the head flow has already been granted this round's
+        # credit (it is mid-burst across pull() calls).
+        self._head_charged = False
+
+    def _on_slot_added(self, slot: int) -> None:
+        super()._on_slot_added(slot)
+        lanes = self.lanes
+        if lanes.weight[slot] * self.quantum < MIN_VISIT_CREDIT:
+            raise ConfigurationError(
+                f"flow {lanes.fids[slot]!r}: per-visit credit "
+                f"{lanes.weight[slot]} * {self.quantum} is below "
+                f"MIN_VISIT_CREDIT={MIN_VISIT_CREDIT}; raise the weight or "
+                f"the quantum"
+            )
+
+    def _on_backlogged_slot(self, slot: int) -> None:
+        if not self._in_active[slot]:
+            self.lanes.deficit[slot] = 0
+            self._activate(slot)
+
+    def _on_slot_removed(self, slot: int) -> None:
+        if self._in_active[slot]:
+            if self._head == slot:
+                self._head_charged = False
+            self._deactivate(slot)
+
+    def pull(self) -> Optional[Tuple[int, int, Any]]:
+        ops = self._ops
+        lanes = self.lanes
+        deficit = lanes.deficit
+        weight = lanes.weight
+        q_count = lanes.q_count
+        quantum = self.quantum
+        while self._head >= 0:
+            ops.bump()
+            slot = self._head
+            if not self._head_charged:
+                # Exact (possibly fractional) credit — identical float
+                # arithmetic to the object core.
+                deficit[slot] += weight[slot] * quantum
+                self._head_charged = True
+            if lanes.head_size(slot) <= deficit[slot]:
+                size, ref = lanes.pop(slot)
+                deficit[slot] -= size
+                if not q_count[slot]:
+                    # Shreedhar-Varghese: leaving the active list resets
+                    # the deficit — credit must not survive idling.
+                    deficit[slot] = 0
+                    self._deactivate(slot)
+                    self._head_charged = False
+                self._departed(size)
+                return slot, size, ref
+            # Credit exhausted for this round: rotate, keep the deficit.
+            self._head = self._nxt[slot]
+            self._head_charged = False
+        return None
+
+
+class FastWRRScheduler(_ActiveListScheduler):
+    """Weighted Round Robin on flat columns (``wrr:fast``)."""
+
+    name: ClassVar[str] = "wrr:fast"
+    requires_integer_weights: ClassVar[bool] = True
+
+    def __init__(self, *, op_counter: OpCounter = NULL_COUNTER) -> None:
+        super().__init__(op_counter=op_counter)
+        # Packets still owed to the flow at the head of the round.
+        self._credit = 0
+
+    def _on_backlogged_slot(self, slot: int) -> None:
+        if not self._in_active[slot]:
+            self._activate(slot)
+
+    def _on_slot_removed(self, slot: int) -> None:
+        if self._in_active[slot]:
+            if self._head == slot:
+                self._credit = 0
+            self._deactivate(slot)
+
+    def pull(self) -> Optional[Tuple[int, int, Any]]:
+        ops = self._ops
+        lanes = self.lanes
+        q_count = lanes.q_count
+        while self._head >= 0:
+            ops.bump()
+            slot = self._head
+            if self._credit == 0:
+                self._credit = int(lanes.weight[slot])
+            size, ref = lanes.pop(slot)
+            self._credit -= 1
+            if not q_count[slot]:
+                # Drained mid-burst: forfeit remaining credit.
+                self._deactivate(slot)
+                self._credit = 0
+            elif self._credit == 0:
+                # Burst complete: rotate to the tail.
+                self._head = self._nxt[slot]
+            self._departed(size)
+            return slot, size, ref
+        return None
+
+
+class FastRRScheduler(_ActiveListScheduler):
+    """Plain round robin on flat columns (``rr:fast``)."""
+
+    name: ClassVar[str] = "rr:fast"
+
+    def _on_backlogged_slot(self, slot: int) -> None:
+        if not self._in_active[slot]:
+            self._activate(slot)
+
+    def _on_slot_removed(self, slot: int) -> None:
+        if self._in_active[slot]:
+            self._deactivate(slot)
+
+    def pull(self) -> Optional[Tuple[int, int, Any]]:
+        ops = self._ops
+        lanes = self.lanes
+        q_count = lanes.q_count
+        while self._head >= 0:
+            ops.bump()
+            # deque popleft + conditional re-append == serve the head and
+            # advance; drop it from the ring when it drained.
+            slot = self._head
+            size, ref = lanes.pop(slot)
+            if q_count[slot]:
+                self._head = self._nxt[slot]
+            else:
+                self._deactivate(slot)
+            self._departed(size)
+            return slot, size, ref
+        return None

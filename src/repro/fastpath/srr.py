@@ -1,0 +1,410 @@
+"""SRR on the flat core: weight matrix and WSS scan as plain int arrays.
+
+Same algorithm, same service order, same elementary-op profile as
+:class:`~repro.core.srr.SRRScheduler` — the differential conformance
+corpus runs bit-identical across the two implementations — but every
+piece of mutable state is a machine integer in a flat list:
+
+* **Weight matrix**: the object core's per-column intrusive linked lists
+  of :class:`~repro.core.flow.ColumnNode` objects become three parallel
+  int arrays ``nx`` / ``pv`` / ``nslot`` over small node ids. Column
+  ``j``'s sentinels are node ids ``2j`` (head) and ``2j + 1`` (tail);
+  flow nodes are allocated past the sentinels, one per set weight bit,
+  and recycled through a free list on flow removal. Link/unlink is the
+  same O(1) pointer surgery, with list stores instead of attribute
+  writes.
+* **WSS**: the scan is two integer cursors (order, 1-based position).
+  Terms come from the closed form ``v2(position) + 1`` by default, or —
+  ``wss_storage="materialized"`` — from the process-wide memoised flat
+  term table of :mod:`repro.core.wss` (the paper's stored-array
+  strategy), one list read per term.
+* **Departure batching**: :meth:`pull_batch` serves a whole WSS column
+  visit per iteration of a fused loop — one Python call per *batch*
+  instead of one per packet, with identical service order (the loop
+  walks the live column linkage, so mid-batch unlinks behave exactly as
+  in repeated single pulls).
+
+Both service modes are provided: ``packet`` (the paper's one-packet
+visit) and ``deficit`` (DRR-style byte credit, the multi-service
+variant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.opcount import NULL_COUNTER, OpCounter
+from ..core.wss import _materialized
+from .base import FastScheduler
+
+__all__ = ["FastSRRScheduler"]
+
+
+class FastSRRScheduler(FastScheduler):
+    """Smoothed Round Robin on flat columns (``srr:fast``).
+
+    Accepts the same constructor arguments as the object core
+    (:class:`~repro.core.srr.SRRScheduler`); see that class and the
+    module docstring for the algorithm.
+    """
+
+    name: ClassVar[str] = "srr:fast"
+    requires_integer_weights: ClassVar[bool] = True
+
+    def __init__(
+        self,
+        *,
+        max_order: int = 62,
+        mode: str = "packet",
+        quantum: int = 1500,
+        wss_storage: str = "closed",
+        order_change: str = "restart",
+        op_counter: OpCounter = NULL_COUNTER,
+    ) -> None:
+        super().__init__(op_counter=op_counter)
+        if not 1 <= max_order <= 62:
+            raise ConfigurationError(
+                f"max_order must be in 1..62, got {max_order}"
+            )
+        if mode not in ("packet", "deficit"):
+            raise ConfigurationError(
+                f"mode must be 'packet' or 'deficit', got {mode!r}"
+            )
+        if mode == "deficit" and quantum < 1:
+            raise ConfigurationError(f"quantum must be >= 1, got {quantum}")
+        if wss_storage not in ("closed", "materialized"):
+            raise ConfigurationError(
+                "wss_storage must be 'closed' or 'materialized', "
+                f"got {wss_storage!r}"
+            )
+        if order_change not in ("restart", "continue"):
+            raise ConfigurationError(
+                "order_change must be 'restart' or 'continue', "
+                f"got {order_change!r}"
+            )
+        self.max_order = max_order
+        self.mode = mode
+        self.quantum = quantum
+        self.wss_storage = wss_storage
+        self.order_change = order_change
+        # Flat node store. Ids 2j / 2j+1 are column j's head/tail
+        # sentinels; every id past 2*max_order is a flow node. -1 is the
+        # universal "no link" / "sentinel" marker.
+        n_sent = 2 * max_order
+        self.nx: List[int] = [-1] * n_sent
+        self.pv: List[int] = [-1] * n_sent
+        self.nslot: List[int] = [-1] * n_sent
+        self.ncol: List[int] = [0] * n_sent
+        for j in range(max_order):
+            head, tail = 2 * j, 2 * j + 1
+            self.nx[head] = tail
+            self.pv[tail] = head
+            self.ncol[head] = self.ncol[tail] = j
+        self._free_nodes: List[int] = []
+        # slot -> this flow's node ids (one per set weight bit), or None.
+        self._slot_nodes: List[Optional[List[int]]] = []
+        self._in_matrix: List[bool] = []
+        self.col_size: List[int] = [0] * max_order
+        self._nonempty_mask = 0
+        # WSS scan state, mirroring the object core exactly.
+        self._order = 0
+        self._position = 0
+        self._cursor = -1           # node id; -1 = no column selected
+        self._stuck = -1            # deficit mode: slot mid-burst, or -1
+        #: Cumulative WSS terms examined (profiling reads this; the
+        #: object core exposes the identical counter).
+        self.terms_scanned = 0
+        # order -> flat term table (shared memoised lists from core.wss).
+        self._wss_tables: Dict[int, List[int]] = {}
+
+    # -- slot hooks --------------------------------------------------------
+
+    def _on_slot_added(self, slot: int) -> None:
+        lanes = self.lanes
+        weight = int(lanes.weight[slot])
+        if weight.bit_length() > self.max_order:
+            raise ConfigurationError(
+                f"weight {weight} needs {weight.bit_length()} weight-matrix "
+                f"columns, scheduler was built with max_order={self.max_order}"
+            )
+        while len(self._slot_nodes) <= slot:
+            self._slot_nodes.append(None)
+            self._in_matrix.append(False)
+        nodes: List[int] = []
+        bits = weight
+        while bits:
+            low = bits & -bits
+            bit = low.bit_length() - 1
+            bits ^= low
+            nodes.append(self._alloc_node(slot, bit))
+        self._slot_nodes[slot] = nodes
+        self._in_matrix[slot] = False
+
+    def _on_slot_removed(self, slot: int) -> None:
+        if self._in_matrix[slot]:
+            self._unlink(slot)
+        if self._stuck == slot:
+            self._stuck = -1
+        self.lanes.deficit[slot] = 0
+        for node in self._slot_nodes[slot]:
+            self.nslot[node] = -1
+            self._free_nodes.append(node)
+        self._slot_nodes[slot] = None
+
+    def _on_backlogged_slot(self, slot: int) -> None:
+        # Empty -> backlogged: (re)enter the matrix at the column tails
+        # (identical pickup semantics to the object core's insert).
+        nx, pv = self.nx, self.pv
+        bump = self._ops.bump
+        mask = self._nonempty_mask
+        col_size = self.col_size
+        for node in self._slot_nodes[slot]:
+            col = self.ncol[node]
+            tail = 2 * col + 1
+            last = pv[tail]
+            nx[last] = node
+            pv[node] = last
+            nx[node] = tail
+            pv[tail] = node
+            col_size[col] += 1
+            mask |= 1 << col
+            bump()
+        self._nonempty_mask = mask
+        self._in_matrix[slot] = True
+
+    # -- node allocation ---------------------------------------------------
+
+    def _alloc_node(self, slot: int, col: int) -> int:
+        if self._free_nodes:
+            node = self._free_nodes.pop()
+            self.nslot[node] = slot
+            self.ncol[node] = col
+            self.nx[node] = self.pv[node] = -1
+            return node
+        node = len(self.nx)
+        self.nx.append(-1)
+        self.pv.append(-1)
+        self.nslot.append(slot)
+        self.ncol.append(col)
+        return node
+
+    def _unlink(self, slot: int) -> None:
+        """Take ``slot`` out of the matrix, keeping the cursor valid."""
+        cursor = self._cursor
+        if cursor >= 0 and self.nslot[cursor] == slot:
+            self._cursor = self.nx[cursor]
+        nx, pv = self.nx, self.pv
+        bump = self._ops.bump
+        mask = self._nonempty_mask
+        col_size = self.col_size
+        for node in self._slot_nodes[slot]:
+            p, n = pv[node], nx[node]
+            nx[p] = n
+            pv[n] = p
+            nx[node] = pv[node] = -1
+            col = self.ncol[node]
+            col_size[col] -= 1
+            if not col_size[col]:
+                mask &= ~(1 << col)
+            bump()
+        self._nonempty_mask = mask
+        self._in_matrix[slot] = False
+
+    # -- scheduling --------------------------------------------------------
+
+    def pull(self) -> Optional[Tuple[int, int, Any]]:
+        """Serve the next packet in O(1) as ``(slot, size, ref)``."""
+        if self.mode == "packet":
+            return self._pull_packet_mode()
+        return self._pull_deficit_mode()
+
+    def _pull_packet_mode(self) -> Optional[Tuple[int, int, Any]]:
+        ops = self._ops
+        nslot = self.nslot
+        lanes = self.lanes
+        q_count = lanes.q_count
+        while True:
+            node = self._cursor
+            if node >= 0:
+                slot = nslot[node]
+                if slot >= 0:
+                    # Serve this flow once and advance within the column.
+                    self._cursor = self.nx[node]
+                    ops.bump()
+                    size, ref = lanes.pop(slot)
+                    if not q_count[slot]:
+                        self._unlink(slot)
+                    self._departed(size)
+                    return slot, size, ref
+            # Column exhausted (or no column yet): advance the WSS scan.
+            if not self._advance_term():
+                return None
+
+    def _pull_deficit_mode(self) -> Optional[Tuple[int, int, Any]]:
+        ops = self._ops
+        nslot = self.nslot
+        lanes = self.lanes
+        q_count = lanes.q_count
+        deficit = lanes.deficit
+        quantum = self.quantum
+        # A flow with leftover credit keeps the link until the credit no
+        # longer covers its head-of-line packet.
+        stuck = self._stuck
+        if stuck >= 0:
+            self._stuck = -1
+            if q_count[stuck] and lanes.head_size(stuck) <= deficit[stuck]:
+                return self._send_with_deficit(stuck)
+        while True:
+            node = self._cursor
+            if node >= 0:
+                slot = nslot[node]
+                if slot >= 0:
+                    self._cursor = self.nx[node]
+                    ops.bump()
+                    deficit[slot] += quantum
+                    if lanes.head_size(slot) <= deficit[slot]:
+                        return self._send_with_deficit(slot)
+                    # Credit too small for the head packet: skip this
+                    # visit, carrying the credit (DRR semantics).
+                    continue
+            if not self._advance_term():
+                return None
+
+    def _send_with_deficit(self, slot: int) -> Tuple[int, int, Any]:
+        lanes = self.lanes
+        size, ref = lanes.pop(slot)
+        lanes.deficit[slot] -= size
+        if not lanes.q_count[slot]:
+            # DRR-style rule: credit does not survive idling.
+            lanes.deficit[slot] = 0
+            self._unlink(slot)
+        elif lanes.head_size(slot) <= lanes.deficit[slot]:
+            self._stuck = slot
+        self._departed(size)
+        return slot, size, ref
+
+    def _advance_term(self) -> bool:
+        """Advance the WSS scan one term; False when the matrix is empty.
+
+        Exactly the object core's :meth:`~repro.core.srr.SRRScheduler._advance_term`,
+        with the cursor as a node id and the materialised table as a flat
+        int list.
+        """
+        mask = self._nonempty_mask
+        if not mask:
+            self._order = 0
+            self._position = 0
+            self._cursor = -1
+            return False
+        order = mask.bit_length()
+        if order != self._order:
+            self._order = order
+            if self.order_change == "restart":
+                self._position = 0
+            else:
+                self._position %= (1 << order) - 1
+        position = self._position + 1
+        if position > (1 << order) - 1:
+            position = 1
+        self._position = position
+        if self.wss_storage == "closed":
+            # Closed-form WSS term: v2(position) + 1.
+            value = (position & -position).bit_length()
+        else:
+            table = self._wss_tables.get(order)
+            if table is None:
+                # Process-wide memoised flat term array (paper strategy).
+                table = self._wss_tables[order] = _materialized(order)
+            value = table[position - 1]
+        # Column order-value's first real node (or its tail sentinel).
+        self._cursor = self.nx[2 * (order - value)]
+        self.terms_scanned += 1
+        self._ops.bump()
+        return True
+
+    def pull_batch(self, budget: int) -> List[Tuple[int, int, Any]]:
+        """Serve up to ``budget`` packets, batching per WSS column visit.
+
+        One fused loop per call: within a selected column the serve step
+        runs without re-entering Python call machinery per packet. The
+        service order is identical to repeated :meth:`pull` calls.
+        """
+        if self.mode != "packet":
+            return super().pull_batch(budget)
+        out: List[Tuple[int, int, Any]] = []
+        append = out.append
+        ops = self._ops
+        nslot, nx = self.nslot, self.nx
+        lanes = self.lanes
+        q_count = lanes.q_count
+        pop = lanes.pop
+        advance = self._advance_term
+        n = 0
+        while n < budget:
+            node = self._cursor
+            if node >= 0:
+                slot = nslot[node]
+                if slot >= 0:
+                    self._cursor = nx[node]
+                    ops.bump()
+                    size, ref = pop(slot)
+                    if not q_count[slot]:
+                        self._unlink(slot)
+                    self._departed(size)
+                    append((slot, size, ref))
+                    n += 1
+                    continue
+            if not advance():
+                break
+        return out
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Current weight-matrix order (0 when no flow is backlogged)."""
+        return self._nonempty_mask.bit_length()
+
+    @property
+    def scan_position(self) -> int:
+        """1-based WSS position of the most recent term (0 before start)."""
+        return self._position
+
+    def column_populations(self) -> List[int]:
+        """``y_j`` counts per column up to the current order (diagnostics)."""
+        return list(self.col_size[: self.order])
+
+    def check_invariants(self) -> None:
+        """Verify matrix linkage consistency (test helper; O(nodes))."""
+        mask = 0
+        for j in range(self.max_order):
+            head, tail = 2 * j, 2 * j + 1
+            n = 0
+            node = self.nx[head]
+            prev = head
+            while node != tail:
+                if node < 0:
+                    raise AssertionError(f"column {j}: broken next chain")
+                if self.pv[node] != prev:
+                    raise AssertionError(f"column {j}: broken prev link")
+                if self.nslot[node] < 0:
+                    raise AssertionError(f"column {j}: sentinel mid-list")
+                prev, node = node, self.nx[node]
+                n += 1
+            if n != self.col_size[j]:
+                raise AssertionError(
+                    f"column {j}: size {self.col_size[j]} but {n} nodes"
+                )
+            if n:
+                mask |= 1 << j
+        if mask != self._nonempty_mask:
+            raise AssertionError(
+                f"nonempty mask {self._nonempty_mask:b} != recomputed {mask:b}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FastSRRScheduler(mode={self.mode!r}, order={self.order}, "
+            f"flows={self.lanes.flow_count}, backlog={self.backlog})"
+        )

@@ -1,0 +1,322 @@
+"""Flat array-of-struct flow state — the fastpath's data plane.
+
+The object core (:mod:`repro.core.flow`) keeps one :class:`FlowState`
+instance per flow, a ``deque`` of :class:`~repro.core.packet.Packet`
+objects per queue, and one :class:`ColumnNode` object per set weight bit.
+At a few hundred thousand packets per second the attribute loads and
+per-packet heap objects dominate the constant-time algorithms they
+implement. :class:`FlowLanes` replaces all of it with *columns*: parallel
+Python lists indexed by a small integer **slot**, one column per field::
+
+    slot         0      1      2      3   ...
+    weight    [  2,     7,     1,    64, ...]   # configured weight
+    deficit   [  0.0,  133.0,  0.0,  0.0, ...]  # DRR/deficit credit
+    q_head    [  3,     0,     5,     0, ...]   # ring cursor
+    q_count   [  1,    12,     0,     4, ...]   # queued packets
+    q_bytes   [200,  4100,     0,  800, ...]    # queued bytes
+    q_size    [ring, ring,  ring,  ring, ...]   # per-flow size ring
+    q_ref     [ring, ring,  ring,  ring, ...]   # per-flow payload ring
+
+Per-flow FIFOs are preallocated power-of-two ring buffers: ``q_size`` is
+a flat list of ints (``head_size()`` is two list reads, no attribute
+chase), and ``q_ref`` carries an opaque payload slot for each packet —
+the :class:`~repro.core.packet.Packet` object on the registry-compatible
+datapath, or a bare scalar (e.g. the creation timestamp) on the
+object-free scalar datapath, where no packet object ever exists and one
+is materialised only at trace/sink boundaries.
+
+Slots are recycled through a free list so long churny runs do not grow
+the columns without bound; a freed slot keeps its (cleared) rings and
+hands them to the next flow.
+
+Everything here is plain CPython-and-PyPy-clean Python — lists, ints and
+floats, no ctypes/numpy — so the same code JITs well under PyPy (see
+``docs/fastpath.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..core.errors import UnknownFlowError
+
+__all__ = ["FlowLanes", "FlowView", "MIN_RING_CAPACITY"]
+
+#: Initial per-flow ring capacity (power of two). Rings double on demand,
+#: so this only sets the floor; 8 slots cover most conformance scenarios
+#: without a single growth copy.
+MIN_RING_CAPACITY = 8
+
+
+class FlowLanes:
+    """SoA per-flow scheduler state: columns indexed by flow slot.
+
+    The class is a data plane, not a scheduler: disciplines own one
+    instance, cache the column lists as locals in their hot loops, and
+    implement service order on top of ``push``/``pop``/``head_size``.
+    """
+
+    def __init__(self) -> None:
+        # fid <-> slot mapping. ``fids[slot]`` is None while a slot sits
+        # on the free list.
+        self.slot_of: Dict[Hashable, int] = {}
+        self.fids: List[Optional[Hashable]] = []
+        self._free: List[int] = []
+        # Per-flow configuration columns.
+        self.weight: List[float] = []
+        self.max_queue: List[int] = []        # -1 = unbounded
+        # Service-discipline scratch columns (deficit credit is shared by
+        # DRR and SRR's deficit mode; other disciplines leave it 0).
+        self.deficit: List[float] = []
+        # Ring cursors + storage.
+        self.q_head: List[int] = []
+        self.q_count: List[int] = []
+        self.q_cap: List[int] = []
+        self.q_bytes: List[int] = []
+        self.q_size: List[List[int]] = []
+        self.q_ref: List[List[Any]] = []
+        # Running service statistics (the fairness analyses and the
+        # observability layer read these straight from the columns).
+        self.packets_sent: List[int] = []
+        self.bytes_sent: List[int] = []
+        self.packets_dropped: List[int] = []
+        #: Total ring growths performed (observability / ring tests).
+        self.ring_growths = 0
+
+    # -- slot lifecycle ----------------------------------------------------
+
+    def alloc(
+        self,
+        fid: Hashable,
+        weight: float,
+        *,
+        max_queue: Optional[int] = None,
+    ) -> int:
+        """Register ``fid`` and return its slot (recycled when possible)."""
+        limit = -1 if max_queue is None else max_queue
+        if self._free:
+            slot = self._free.pop()
+            self.fids[slot] = fid
+            self.weight[slot] = weight
+            self.max_queue[slot] = limit
+            self.deficit[slot] = 0
+            self.packets_sent[slot] = 0
+            self.bytes_sent[slot] = 0
+            self.packets_dropped[slot] = 0
+            # Rings were cleared by free(); cursors are already zero.
+        else:
+            slot = len(self.fids)
+            self.fids.append(fid)
+            self.weight.append(weight)
+            self.max_queue.append(limit)
+            self.deficit.append(0)
+            self.q_head.append(0)
+            self.q_count.append(0)
+            self.q_cap.append(MIN_RING_CAPACITY)
+            self.q_bytes.append(0)
+            self.q_size.append([0] * MIN_RING_CAPACITY)
+            self.q_ref.append([None] * MIN_RING_CAPACITY)
+            self.packets_sent.append(0)
+            self.bytes_sent.append(0)
+            self.packets_dropped.append(0)
+        self.slot_of[fid] = slot
+        return slot
+
+    def free(self, slot: int) -> int:
+        """Release ``slot`` (dropping its queue); returns packets dropped."""
+        fid = self.fids[slot]
+        del self.slot_of[fid]
+        self.fids[slot] = None
+        dropped = self.q_count[slot]
+        # Clear payload references so freed packets are collectable; the
+        # ring storage itself is kept for the next tenant.
+        refs = self.q_ref[slot]
+        for i in range(len(refs)):
+            refs[i] = None
+        self.q_head[slot] = 0
+        self.q_count[slot] = 0
+        self.q_bytes[slot] = 0
+        self.deficit[slot] = 0
+        self._free.append(slot)
+        return dropped
+
+    def lookup(self, fid: Hashable) -> int:
+        """Slot for ``fid``; raises :class:`UnknownFlowError` if absent."""
+        try:
+            return self.slot_of[fid]
+        except KeyError:
+            raise UnknownFlowError(fid) from None
+
+    @property
+    def flow_count(self) -> int:
+        return len(self.slot_of)
+
+    def live_slots(self) -> List[int]:
+        """Currently allocated slots (iteration order = slot order)."""
+        return [s for s, fid in enumerate(self.fids) if fid is not None]
+
+    # -- ring operations ---------------------------------------------------
+
+    def push(self, slot: int, size: int, ref: Any) -> bool:
+        """Append one packet to ``slot``'s FIFO; False (and drop-count)
+        when the flow's queue limit is reached."""
+        count = self.q_count[slot]
+        limit = self.max_queue[slot]
+        if limit >= 0 and count >= limit:
+            self.packets_dropped[slot] += 1
+            return False
+        cap = self.q_cap[slot]
+        if count == cap:
+            self._grow(slot)
+            cap = self.q_cap[slot]
+        tail = (self.q_head[slot] + count) & (cap - 1)
+        self.q_size[slot][tail] = size
+        self.q_ref[slot][tail] = ref
+        self.q_count[slot] = count + 1
+        self.q_bytes[slot] += size
+        return True
+
+    def pop(self, slot: int) -> Tuple[int, Any]:
+        """Pop and account the head-of-line packet (queue non-empty)."""
+        head = self.q_head[slot]
+        sizes = self.q_size[slot]
+        refs = self.q_ref[slot]
+        size = sizes[head]
+        ref = refs[head]
+        refs[head] = None
+        self.q_head[slot] = (head + 1) & (self.q_cap[slot] - 1)
+        self.q_count[slot] -= 1
+        self.q_bytes[slot] -= size
+        self.packets_sent[slot] += 1
+        self.bytes_sent[slot] += size
+        return size, ref
+
+    def head_size(self, slot: int) -> int:
+        """Size in bytes of the head-of-line packet (queue non-empty)."""
+        return self.q_size[slot][self.q_head[slot]]
+
+    def _grow(self, slot: int) -> None:
+        """Double ``slot``'s ring, unrolling the wrap into a fresh ring."""
+        cap = self.q_cap[slot]
+        head = self.q_head[slot]
+        count = self.q_count[slot]
+        old_sizes = self.q_size[slot]
+        old_refs = self.q_ref[slot]
+        new_cap = cap * 2
+        sizes = [0] * new_cap
+        refs: List[Any] = [None] * new_cap
+        mask = cap - 1
+        for i in range(count):
+            j = (head + i) & mask
+            sizes[i] = old_sizes[j]
+            refs[i] = old_refs[j]
+        self.q_size[slot] = sizes
+        self.q_ref[slot] = refs
+        self.q_cap[slot] = new_cap
+        self.q_head[slot] = 0
+        self.ring_growths += 1
+
+    def queue_refs(self, slot: int) -> List[Any]:
+        """The queued payloads in FIFO order (copies; boundary use only)."""
+        head = self.q_head[slot]
+        mask = self.q_cap[slot] - 1
+        refs = self.q_ref[slot]
+        return [refs[(head + i) & mask] for i in range(self.q_count[slot])]
+
+    def check_ring(self, slot: int) -> None:
+        """Ring invariants for one slot (test helper)."""
+        cap = self.q_cap[slot]
+        if cap & (cap - 1):
+            raise AssertionError(f"slot {slot}: capacity {cap} not a power of 2")
+        count = self.q_count[slot]
+        if not 0 <= count <= cap:
+            raise AssertionError(f"slot {slot}: count {count} outside 0..{cap}")
+        head = self.q_head[slot]
+        if not 0 <= head < cap:
+            raise AssertionError(f"slot {slot}: head {head} outside ring")
+        total = sum(
+            self.q_size[slot][(head + i) & (cap - 1)] for i in range(count)
+        )
+        if total != self.q_bytes[slot]:
+            raise AssertionError(
+                f"slot {slot}: q_bytes {self.q_bytes[slot]} != ring sum {total}"
+            )
+        # Vacant ring positions must not pin payloads.
+        mask = cap - 1
+        occupied = {(head + i) & mask for i in range(count)}
+        refs = self.q_ref[slot]
+        for i in range(cap):
+            if i not in occupied and refs[i] is not None:
+                raise AssertionError(f"slot {slot}: leaked ref at ring[{i}]")
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowLanes(flows={len(self.slot_of)}, "
+            f"slots={len(self.fids)}, free={len(self._free)})"
+        )
+
+
+class FlowView:
+    """Read-mostly :class:`~repro.core.flow.FlowState`-compatible view of
+    one slot, materialised on demand for boundary code (conformance
+    bookkeeping, diagnostics) — the hot path never builds one."""
+
+    __slots__ = ("_lanes", "_slot")
+
+    def __init__(self, lanes: FlowLanes, slot: int) -> None:
+        self._lanes = lanes
+        self._slot = slot
+
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    @property
+    def flow_id(self) -> Hashable:
+        return self._lanes.fids[self._slot]
+
+    @property
+    def weight(self) -> float:
+        return self._lanes.weight[self._slot]
+
+    @property
+    def deficit(self) -> float:
+        return self._lanes.deficit[self._slot]
+
+    @property
+    def queue(self) -> List[Any]:
+        return self._lanes.queue_refs(self._slot)
+
+    @property
+    def backlogged(self) -> bool:
+        return self._lanes.q_count[self._slot] > 0
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._lanes.q_bytes[self._slot]
+
+    @property
+    def packets_sent(self) -> int:
+        return self._lanes.packets_sent[self._slot]
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._lanes.bytes_sent[self._slot]
+
+    @property
+    def packets_dropped(self) -> int:
+        return self._lanes.packets_dropped[self._slot]
+
+    @property
+    def max_queue(self) -> Optional[int]:
+        limit = self._lanes.max_queue[self._slot]
+        return None if limit < 0 else limit
+
+    def head_size(self) -> int:
+        return self._lanes.head_size(self._slot)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowView(id={self.flow_id!r}, weight={self.weight}, "
+            f"queued={self._lanes.q_count[self._slot]})"
+        )

@@ -192,6 +192,39 @@ class Simulator:
             self._max_heap_depth = queue.size
         return event
 
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Re-arm a **fired** event ``delay`` seconds from now, in place.
+
+        Components that keep exactly one event in flight at a time (e.g.
+        an output port's transmit-complete) can recycle the same
+        :class:`Event` object instead of allocating a fresh one per
+        packet. The event is re-queued with a fresh sequence number from
+        the same counter :meth:`schedule` uses, so results are
+        bit-identical to allocating a new event.
+
+        Only an event that has already fired may be re-armed: a pending
+        or cancelled-pending event still sits inside the queue, and
+        mutating it there would corrupt the queue order (a cancelled
+        event cannot be distinguished from a reaped one, so cancelled
+        events are never reusable).
+        """
+        if event._sim is not None or event.cancelled:
+            raise SimulationError(
+                f"cannot reschedule {event!r}: only an event that has "
+                "already fired (and was never cancelled) may be reused"
+            )
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event.time = self._now + delay
+        event.seq = self._seq
+        self._seq += 1
+        event._sim = self
+        queue = self._queue
+        queue.push(event)
+        if queue.size > self._max_heap_depth:
+            self._max_heap_depth = queue.size
+        return event
+
     def run(
         self,
         until: Optional[float] = None,

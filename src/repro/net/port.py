@@ -75,6 +75,13 @@ class OutputPort:
         self.packets_out = 0
         self.bytes_out = 0
         self.drops = 0
+        # Transmit-complete event recycling: the port has at most one
+        # serialisation in flight, so the same Event object is re-armed
+        # per packet (fresh seq — bit-identical schedule order) instead
+        # of allocating one per transmission. The packet on the wire
+        # rides the port, not the event args.
+        self._tx_event = None
+        self._in_flight: Optional[Packet] = None
         self.on_transmit: List[TransmitHook] = []
         #: Lifecycle tracer; defaults to the process-wide active one
         #: (usually None — tracing off).
@@ -208,13 +215,19 @@ class OutputPort:
                 uid=packet.uid, size=packet.size,
                 waited_s=now - packet.enqueued_at,
             )
-        self.sim.schedule(
-            self.link.serialization_time(packet.size),
-            self._transmission_complete,
-            packet,
-        )
+        self._in_flight = packet
+        delay = self.link.serialization_time(packet.size)
+        event = self._tx_event
+        if event is not None and event._sim is None and not event.cancelled:
+            self.sim.reschedule(event, delay)
+        else:
+            self._tx_event = self.sim.schedule(
+                delay, self._transmission_complete
+            )
 
-    def _transmission_complete(self, packet: Packet) -> None:
+    def _transmission_complete(self) -> None:
+        packet = self._in_flight
+        self._in_flight = None
         now = self.sim.now
         self.packets_out += 1
         self.bytes_out += packet.size

@@ -8,7 +8,12 @@ perf-affecting change is judged against (see ``docs/performance.md``).
 """
 
 from .benchmarks import Benchmark, BenchResult, all_benchmarks, run_benchmark
-from .report import build_document, compare, speedup_summary
+from .report import (
+    build_document,
+    compare,
+    fastpath_speedup,
+    speedup_summary,
+)
 
 __all__ = [
     "Benchmark",
@@ -16,6 +21,7 @@ __all__ = [
     "all_benchmarks",
     "build_document",
     "compare",
+    "fastpath_speedup",
     "run_benchmark",
     "speedup_summary",
 ]

@@ -10,12 +10,20 @@ Three groups, each timing the layer above it:
 
 ``scheduler_dequeue``
     Per-dequeue cost (packets/s) of saturated SRR/DRR/WFQ schedulers at
-    N ∈ {16, 512, 4096} flows, no simulator involved.
+    N ∈ {16, 512, 4096} flows, no simulator involved. The flat-core
+    twins (``srr:fast``/``drr:fast``) are timed on their scalar
+    ``push``/``pull`` datapath — same service order, no Packet objects.
 
 ``end_to_end``
     A full E5-scale network scenario (SRR bottleneck, hundreds of CBR
     flows) run under each backend — the number every experiment actually
-    feels.
+    feels. A third entry replays the identical scenario through the
+    flat-core lean loop (:mod:`repro.fastpath.netloop`); its params
+    carry ``core: "fast"`` instead of an ``engine`` key because no
+    event queue is involved, and since its work items (packets
+    delivered) are not commensurable with the event-loop runs' events,
+    the fastpath-vs-object claim is compared on mean *round time*
+    (:func:`repro.perf.report.fastpath_speedup`), not throughput.
 
 Each benchmark returns per-round wall times plus a work-item count, from
 which the report layer derives pytest-benchmark-compatible stats. Round
@@ -33,8 +41,10 @@ from typing import Callable, Dict, List, Tuple
 
 from ..bench.scenarios import single_bottleneck_network
 from ..bench.workloads import build_loaded_scheduler, geometric_weights
+from ..fastpath.netloop import run_single_bottleneck_fast
 from ..net.engine import Simulator
 from ..net.eventq import ENGINE_ENV_VAR
+from ..schedulers.registry import create_scheduler
 
 __all__ = ["Benchmark", "BenchResult", "all_benchmarks", "run_benchmark"]
 
@@ -139,6 +149,34 @@ def _dequeue_round(name: str, n_flows: int, pulls: int) -> Tuple[float, int]:
     return elapsed, pulls
 
 
+def _dequeue_fast_round(
+    name: str, n_flows: int, pulls: int
+) -> Tuple[float, int]:
+    """One flat-core round: time ``pulls`` scalar ``pull()`` calls.
+
+    Mirrors :func:`_dequeue_round` — same weight mix, same saturation —
+    but loads and serves through the object-free ``push``/``pull``
+    datapath, which is what the network lean loop actually drives.
+    """
+    per_flow = max(2, -(-pulls // n_flows))
+    kwargs = (
+        {"quantum": 200} if name.partition(":")[0] in ("srr", "drr") else {}
+    )
+    sched = create_scheduler(name, **kwargs)
+    for fid, weight in geometric_weights(n_flows).items():
+        sched.add_flow(fid, weight)
+    for fid in range(n_flows):
+        slot = sched.slot_of(fid)
+        for _ in range(per_flow):
+            sched.push(slot, 200)
+    pull = sched.pull
+    t0 = time.perf_counter()
+    for _ in range(pulls):
+        pull()
+    elapsed = time.perf_counter() - t0
+    return elapsed, pulls
+
+
 def _e2e_round(kind: str, n_flows: int, until: float) -> Tuple[float, int]:
     """One end-to-end round: build and run an SRR bottleneck scenario.
 
@@ -160,6 +198,14 @@ def _e2e_round(kind: str, n_flows: int, until: float) -> Tuple[float, int]:
     net.run(until=until)
     elapsed = time.perf_counter() - t0
     return elapsed, net.sim.events_processed
+
+
+def _e2e_fast_round(n_flows: int, until: float) -> Tuple[float, int]:
+    """One lean-loop round: the same SRR bottleneck, no event engine."""
+    t0 = time.perf_counter()
+    run = run_single_bottleneck_fast(n_flows, until)
+    elapsed = time.perf_counter() - t0
+    return elapsed, run.forwarded
 
 
 def all_benchmarks() -> List[Benchmark]:
@@ -187,6 +233,19 @@ def all_benchmarks() -> List[Benchmark]:
                 rounds=3,
                 quick_rounds=1,
             ))
+    for sched in ("srr:fast", "drr:fast"):
+        for n in _DEQUEUE_SIZES:
+            benches.append(Benchmark(
+                "scheduler_dequeue",
+                f"dequeue[{sched}-n{n}]",
+                {"scheduler": sched, "core": "fast", "n_flows": n,
+                 "pulls": _DEQUEUE_PULLS},
+                lambda sched=sched, n=n: _dequeue_fast_round(
+                    sched, n, _DEQUEUE_PULLS
+                ),
+                rounds=3,
+                quick_rounds=1,
+            ))
     for kind in _ENGINES:
         benches.append(Benchmark(
             "end_to_end",
@@ -196,6 +255,14 @@ def all_benchmarks() -> List[Benchmark]:
             rounds=3,
             quick_rounds=1,
         ))
+    benches.append(Benchmark(
+        "end_to_end",
+        f"e2e_srr_bottleneck[fastpath-n{_E2E_FLOWS}]",
+        {"core": "fast", "n_flows": _E2E_FLOWS, "until": _E2E_UNTIL},
+        lambda: _e2e_fast_round(_E2E_FLOWS, _E2E_UNTIL),
+        rounds=3,
+        quick_rounds=1,
+    ))
     return benches
 
 

@@ -15,7 +15,12 @@ import sys
 from typing import List, Optional
 
 from .benchmarks import all_benchmarks, run_benchmark
-from .report import build_document, compare, speedup_summary
+from .report import (
+    build_document,
+    compare,
+    fastpath_speedup,
+    speedup_summary,
+)
 
 __all__ = ["main"]
 
@@ -87,6 +92,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     speedups = speedup_summary(doc)
     for group, ratio in sorted(speedups.items()):
         print(f"calendar vs heap [{group}]: {ratio:.2f}x", file=sys.stderr)
+    for group, ratio in sorted(fastpath_speedup(doc).items()):
+        print(
+            f"fastpath vs object [{group}]: {ratio:.2f}x",
+            file=sys.stderr,
+        )
 
     if args.baseline:
         with open(args.baseline) as fh:

@@ -19,7 +19,9 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .benchmarks import BenchResult
 
-__all__ = ["build_document", "compare", "speedup_summary"]
+__all__ = [
+    "build_document", "compare", "speedup_summary", "fastpath_speedup",
+]
 
 SCHEMA = "repro.perf/bench/v1"
 
@@ -124,6 +126,33 @@ def speedup_summary(doc: Dict[str, Any]) -> Dict[str, float]:
     for group, rates in by_group.items():
         if rates.get("heap") and rates.get("calendar"):
             out[group] = rates["calendar"] / rates["heap"]
+    return out
+
+
+def fastpath_speedup(doc: Dict[str, Any]) -> Dict[str, float]:
+    """Flat-core-vs-object speedups, per group, from one document.
+
+    Compares *mean round times* (object over fastpath), not throughput:
+    the object benches count engine events as work items while the lean
+    loop counts packets, so their rates are not commensurable — but each
+    pair runs the semantically identical workload, so wall time is. The
+    object side is the calendar run (the faster engine, i.e. the
+    conservative denominator).
+    """
+    objects: Dict[str, float] = {}
+    fasts: Dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        params = bench.get("params", {})
+        mean = bench.get("stats", {}).get("mean", 0.0)
+        if params.get("core") == "fast" and "engine" not in params:
+            fasts[bench["group"]] = mean
+        elif params.get("engine") == "calendar":
+            objects[bench["group"]] = mean
+    out: Dict[str, float] = {}
+    for group, fast_mean in fasts.items():
+        obj_mean = objects.get(group)
+        if obj_mean and fast_mean:
+            out[group] = obj_mean / fast_mean
     return out
 
 

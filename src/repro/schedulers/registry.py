@@ -54,12 +54,20 @@ _extensions_loaded = False
 
 
 def _load_extensions() -> None:
-    """Import :mod:`repro.extensions` once so rrr/g3 self-register."""
+    """Import the lazily-registered scheduler packages once.
+
+    Extensions (rrr/g3) and the flat-core fastpath twins (``srr:fast``,
+    ``drr:fast``, ...) self-register on first registry use, keeping the
+    dependency direction clean.
+    """
     global _extensions_loaded
     if _extensions_loaded:
         return
     _extensions_loaded = True
     import repro.extensions  # noqa: F401
+    from repro.fastpath import register_fastpath_schedulers
+
+    register_fastpath_schedulers()
 
 
 def register_scheduler(name: str, factory: SchedulerFactory) -> None:

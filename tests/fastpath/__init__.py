@@ -1,0 +1,2 @@
+"""Flat-core fastpath tests: ring-buffer state, object-vs-fast
+equivalence, engine/stats parity, and the lean bottleneck loop."""

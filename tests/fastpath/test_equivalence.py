@@ -1,0 +1,160 @@
+"""Differential object-vs-fast equivalence.
+
+Each flat-core scheduler must be *bit-identical* to its object twin:
+same accept/reject decisions, same service order (checked by packet
+uid, so FIFO identity within flows is covered too), same backlog
+accounting, same elementary-op counts, and — for SRR — the same number
+of WSS terms scanned. The randomized churn drives add/remove/re-add,
+queue limits, and both service modes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.opcount import OpCounter
+from repro.core.packet import Packet
+from repro.schedulers.registry import create_scheduler
+
+WEIGHTS = [1, 2, 3, 5, 8, 13, 64]
+
+CONFIGS = [
+    pytest.param("srr", "srr:fast", {"quantum": 200}, id="srr-packet"),
+    pytest.param(
+        "srr", "srr:fast", {"mode": "deficit", "quantum": 200},
+        id="srr-deficit",
+    ),
+    pytest.param(
+        "srr", "srr:fast",
+        {"wss_storage": "materialized", "order_change": "continue"},
+        id="srr-materialized-continue",
+    ),
+    pytest.param("drr", "drr:fast", {"quantum": 200}, id="drr"),
+    pytest.param("wrr", "wrr:fast", {}, id="wrr"),
+    pytest.param("rr", "rr:fast", {}, id="rr"),
+]
+
+
+def build_pair(obj_name, fast_name, kwargs):
+    obj_ops, fast_ops = OpCounter(), OpCounter()
+    obj = create_scheduler(obj_name, op_counter=obj_ops, **kwargs)
+    fast = create_scheduler(fast_name, op_counter=fast_ops, **kwargs)
+    return obj, fast, obj_ops, fast_ops
+
+
+@pytest.mark.parametrize("obj_name,fast_name,kwargs", CONFIGS)
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_churn_is_bit_identical(obj_name, fast_name, kwargs, seed):
+    rng = random.Random(seed * 7919 + 13)
+    obj, fast, obj_ops, fast_ops = build_pair(obj_name, fast_name, kwargs)
+
+    flows = {}
+    next_fid = 0
+
+    def add_flow():
+        nonlocal next_fid
+        fid = f"f{next_fid}"
+        next_fid += 1
+        weight = rng.choice(WEIGHTS)
+        limit = rng.choice([None, None, 4, 32])
+        obj.add_flow(fid, weight, max_queue=limit)
+        fast.add_flow(fid, weight, max_queue=limit)
+        flows[fid] = weight
+
+    for _ in range(rng.randint(2, 5)):
+        add_flow()
+
+    for step in range(300):
+        r = rng.random()
+        if r < 0.45 and flows:
+            fid = rng.choice(sorted(flows))
+            size = rng.randint(40, 1500)
+            # Twin Packet objects share nothing but must be judged alike.
+            a = obj.enqueue(Packet(fid, size))
+            b = fast.enqueue(Packet(fid, size))
+            assert a == b, f"step {step}: accept mismatch"
+        elif r < 0.85:
+            p_obj = obj.dequeue()
+            p_fast = fast.dequeue()
+            if p_obj is None:
+                assert p_fast is None, f"step {step}: fast served extra"
+            else:
+                assert p_fast is not None, f"step {step}: fast went idle"
+                assert (p_obj.flow_id, p_obj.size) == (
+                    p_fast.flow_id, p_fast.size,
+                ), f"step {step}: service order diverged"
+        elif r < 0.93 and len(flows) > 1:
+            fid = rng.choice(sorted(flows))
+            assert obj.remove_flow(fid) == fast.remove_flow(fid)
+            del flows[fid]
+        else:
+            add_flow()
+        assert obj.backlog == fast.backlog
+        assert obj.backlog_bytes == fast.backlog_bytes
+
+    # Drain to empty and compare the tail order too.
+    while True:
+        p_obj, p_fast = obj.dequeue(), fast.dequeue()
+        if p_obj is None:
+            assert p_fast is None
+            break
+        assert (p_obj.flow_id, p_obj.size) == (p_fast.flow_id, p_fast.size)
+
+    assert obj_ops.count == fast_ops.count, "op-count profiles diverged"
+    if hasattr(obj, "terms_scanned"):
+        assert obj.terms_scanned == fast.terms_scanned
+
+
+@pytest.mark.parametrize("obj_name,fast_name,kwargs", CONFIGS)
+def test_pull_batch_matches_object_dequeue_sequence(
+    obj_name, fast_name, kwargs
+):
+    """The fused batch loop must serve exactly the per-call sequence."""
+    rng = random.Random(99)
+    obj, fast, _o, _f = build_pair(obj_name, fast_name, kwargs)
+    for i, w in enumerate(WEIGHTS):
+        obj.add_flow(i, w)
+        fast.add_flow(i, w)
+    for _ in range(400):
+        fid = rng.randrange(len(WEIGHTS))
+        size = rng.randint(40, 1500)
+        obj.enqueue(Packet(fid, size))
+        fast.push(fast.slot_of(fid), size)
+
+    expected = []
+    while True:
+        p = obj.dequeue()
+        if p is None:
+            break
+        expected.append((p.flow_id, p.size))
+
+    got = []
+    while True:
+        batch = fast.pull_batch(7)  # odd budget: exercises partial fills
+        if not batch:
+            break
+        got.extend(
+            (fast.lanes.fids[slot], size) for slot, size, _ref in batch
+        )
+    assert got == expected
+    assert fast.backlog == 0 and fast.backlog_bytes == 0
+
+
+def test_materialized_wss_table_is_shared_across_instances():
+    """``wss_storage="materialized"`` reads the process-wide memoised
+    table from :mod:`repro.core.wss` — one copy per order, shared by
+    every instance (object or fast), never rebuilt per scheduler."""
+    a = create_scheduler("srr:fast", wss_storage="materialized")
+    b = create_scheduler("srr:fast", wss_storage="materialized")
+    for sched in (a, b):
+        for i, w in enumerate((1, 2, 4)):
+            sched.add_flow(i, w)
+            sched.push(sched.slot_of(i), 100)
+        while sched.pull() is not None:
+            pass
+    order = 3  # three columns occupied above
+    assert order in a._wss_tables and order in b._wss_tables
+    assert a._wss_tables[order] is b._wss_tables[order]
+    from repro.core.wss import _materialized
+
+    assert a._wss_tables[order] is _materialized(order)

@@ -1,0 +1,220 @@
+"""FlowLanes ring-buffer edge cases: wraparound, growth under bursts,
+drain-to-empty rejoin, and slot recycling under flow churn.
+
+Every mutation sequence finishes with ``check_ring`` — the invariant
+helper that verifies power-of-two capacity, cursor bounds, byte totals,
+and that vacant ring positions do not pin payload references.
+"""
+
+import pytest
+
+from repro.core.errors import UnknownFlowError
+from repro.fastpath.state import MIN_RING_CAPACITY, FlowLanes
+
+
+def drain_all(lanes, slot):
+    out = []
+    while lanes.q_count[slot]:
+        out.append(lanes.pop(slot))
+    return out
+
+
+class TestRingWraparound:
+    def test_wrap_without_growth(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 1)
+        # Fill, then interleave pops and pushes so the cursor laps the
+        # ring several times without ever needing a growth copy.
+        for i in range(MIN_RING_CAPACITY):
+            assert lanes.push(slot, 100 + i, ("ref", i))
+        nxt = MIN_RING_CAPACITY
+        popped = []
+        for _ in range(5 * MIN_RING_CAPACITY):
+            popped.append(lanes.pop(slot))
+            assert lanes.push(slot, 100 + nxt, ("ref", nxt))
+            nxt += 1
+            lanes.check_ring(slot)
+        popped.extend(drain_all(lanes, slot))
+        assert lanes.ring_growths == 0
+        assert [ref for _size, ref in popped] == [
+            ("ref", i) for i in range(nxt)
+        ]
+        assert [size for size, _ref in popped] == [
+            100 + i for i in range(nxt)
+        ]
+
+    def test_head_size_follows_wrap(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 1)
+        for i in range(MIN_RING_CAPACITY):
+            lanes.push(slot, 10 + i, None)
+        for i in range(MIN_RING_CAPACITY - 1):
+            assert lanes.head_size(slot) == 10 + i
+            lanes.pop(slot)
+        # Head is now at the last physical index; the next push wraps to
+        # index 0 while head_size still reads the pre-wrap element.
+        lanes.push(slot, 99, None)
+        assert lanes.head_size(slot) == 10 + MIN_RING_CAPACITY - 1
+        lanes.check_ring(slot)
+
+
+class TestRingGrowth:
+    def test_burst_growth_doubles_capacity(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 1)
+        n = 1000
+        for i in range(n):
+            lanes.push(slot, i + 1, i)
+            lanes.check_ring(slot)
+        assert lanes.q_cap[slot] == 1024
+        assert lanes.ring_growths == 7  # 8 -> 1024 is seven doublings
+        assert [ref for _s, ref in drain_all(lanes, slot)] == list(range(n))
+
+    def test_growth_unrolls_wrapped_ring(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 1)
+        # Advance the head so the full ring wraps, then force a growth:
+        # the copy must unroll head..tail into the fresh ring in order.
+        for i in range(MIN_RING_CAPACITY):
+            lanes.push(slot, 1, ("old", i))
+        for _ in range(3):
+            lanes.pop(slot)
+        for i in range(3):
+            lanes.push(slot, 1, ("new", i))
+        assert lanes.q_head[slot] == 3  # wrapped state, ring full
+        lanes.push(slot, 1, ("grow", 0))
+        assert lanes.q_cap[slot] == 2 * MIN_RING_CAPACITY
+        assert lanes.q_head[slot] == 0
+        lanes.check_ring(slot)
+        refs = [ref for _s, ref in drain_all(lanes, slot)]
+        assert refs == (
+            [("old", i) for i in range(3, MIN_RING_CAPACITY)]
+            + [("new", i) for i in range(3)]
+            + [("grow", 0)]
+        )
+
+    def test_growth_preserves_byte_accounting(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 1)
+        sizes = [7, 40, 1500, 9, 200, 64, 3, 11, 999, 2]
+        for s in sizes:
+            lanes.push(slot, s, None)
+        assert lanes.q_bytes[slot] == sum(sizes)
+        lanes.check_ring(slot)
+
+
+class TestDrainAndRejoin:
+    def test_drain_to_empty_leaves_no_pinned_refs(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 1)
+        sentinel = object()
+        for _ in range(5):
+            lanes.push(slot, 100, sentinel)
+        drain_all(lanes, slot)
+        assert lanes.q_count[slot] == 0
+        assert lanes.q_bytes[slot] == 0
+        # check_ring asserts every vacant position holds None — a popped
+        # payload must be collectable immediately.
+        lanes.check_ring(slot)
+        assert all(r is None for r in lanes.q_ref[slot])
+
+    def test_rejoin_after_drain(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 1)
+        for round_no in range(4):
+            for i in range(6):
+                lanes.push(slot, 50, (round_no, i))
+            got = [ref for _s, ref in drain_all(lanes, slot)]
+            assert got == [(round_no, i) for i in range(6)]
+            lanes.check_ring(slot)
+
+
+class TestSlotChurn:
+    def test_free_with_queued_packets_reports_drops(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 2)
+        for i in range(5):
+            lanes.push(slot, 100, i)
+        assert lanes.free(slot) == 5
+        assert "a" not in lanes.slot_of
+        assert lanes.fids[slot] is None
+
+    def test_freed_slot_is_recycled_clean(self):
+        lanes = FlowLanes()
+        a = lanes.alloc("a", 2)
+        b = lanes.alloc("b", 3)
+        for i in range(20):  # force a growth so the big ring is reused
+            lanes.push(a, 100, ("a", i))
+        lanes.free(a)
+        c = lanes.alloc("c", 7, max_queue=4)
+        assert c == a  # LIFO free-list recycling
+        assert lanes.weight[c] == 7
+        assert lanes.max_queue[c] == 4
+        assert lanes.q_count[c] == 0
+        assert lanes.q_bytes[c] == 0
+        assert lanes.packets_sent[c] == 0
+        assert lanes.q_cap[c] >= 32  # ring storage survives the tenant
+        lanes.check_ring(c)
+        assert lanes.slot_of == {"b": b, "c": c}
+        assert lanes.live_slots() == sorted([b, c])
+
+    def test_interleaved_churn_keeps_invariants(self):
+        lanes = FlowLanes()
+        slots = {}
+        for gen in range(6):
+            for k in range(4):
+                fid = (gen, k)
+                slots[fid] = lanes.alloc(fid, k + 1)
+                for i in range(3 * gen + 1):
+                    lanes.push(slots[fid], 10 * (i + 1), i)
+                lanes.check_ring(slots[fid])
+            # Tear down half, keeping the rest queued.
+            for k in (0, 2):
+                lanes.free(slots.pop((gen, k)))
+        assert lanes.flow_count == len(slots)
+        for fid, slot in slots.items():
+            assert lanes.slot_of[fid] == slot
+            lanes.check_ring(slot)
+
+    def test_queue_limit_counts_drops(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 1, max_queue=3)
+        results = [lanes.push(slot, 10, i) for i in range(5)]
+        assert results == [True, True, True, False, False]
+        assert lanes.packets_dropped[slot] == 2
+        assert lanes.q_count[slot] == 3
+        lanes.check_ring(slot)
+
+    def test_lookup_unknown_raises(self):
+        lanes = FlowLanes()
+        with pytest.raises(UnknownFlowError):
+            lanes.lookup("ghost")
+
+
+class TestFlowView:
+    def test_view_mirrors_columns(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 5, max_queue=100)
+        lanes.push(slot, 70, "p0")
+        lanes.push(slot, 30, "p1")
+        from repro.fastpath.state import FlowView
+
+        view = FlowView(lanes, slot)
+        assert view.flow_id == "a"
+        assert view.weight == 5
+        assert view.max_queue == 100
+        assert view.backlogged
+        assert view.backlog_bytes == 100
+        assert view.queue == ["p0", "p1"]
+        assert view.head_size() == 70
+        lanes.pop(slot)
+        assert view.queue == ["p1"]
+        assert view.packets_sent == 1
+        assert view.bytes_sent == 70
+
+    def test_unbounded_queue_reads_none(self):
+        lanes = FlowLanes()
+        slot = lanes.alloc("a", 1)
+        from repro.fastpath.state import FlowView
+
+        assert FlowView(lanes, slot).max_queue is None

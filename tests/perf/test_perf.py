@@ -17,6 +17,7 @@ from repro.perf import (
     all_benchmarks,
     build_document,
     compare,
+    fastpath_speedup,
     run_benchmark,
     speedup_summary,
 )
@@ -97,6 +98,34 @@ class TestDocument:
         only_heap = run_benchmark(_tiny_bench(), quick=True)
         assert speedup_summary(_doc(only_heap)) == {}
 
+    def test_fastpath_speedup_compares_mean_round_times(self):
+        # Object side = the calendar run; fast side = the engine-less
+        # core:"fast" entry. Ratio is of mean times, not throughput.
+        obj = Benchmark(
+            "end_to_end", "e2e[calendar]", {"engine": "calendar"},
+            lambda: _hold_round("heap", 50, 100), rounds=1, quick_rounds=1,
+        )
+        fast = Benchmark(
+            "end_to_end", "e2e[fastpath]", {"core": "fast"},
+            lambda: _hold_round("heap", 50, 100), rounds=1, quick_rounds=1,
+        )
+        r_obj = run_benchmark(obj, quick=True)
+        r_fast = run_benchmark(fast, quick=True)
+        r_obj.times, r_fast.times = [0.4], [0.1]
+        doc = _doc(r_obj, r_fast)
+        assert fastpath_speedup(doc) == {"end_to_end": pytest.approx(4.0)}
+        # No heap+calendar pair in sight: the engine summary stays empty.
+        assert speedup_summary(doc) == {}
+
+    def test_fastpath_speedup_needs_both_cores(self):
+        only_fast = Benchmark(
+            "end_to_end", "e2e[fastpath]", {"core": "fast"},
+            lambda: _hold_round("heap", 50, 100), rounds=1, quick_rounds=1,
+        )
+        assert fastpath_speedup(
+            _doc(run_benchmark(only_fast, quick=True))
+        ) == {}
+
 
 class TestCompare:
     def _docs(self):
@@ -153,12 +182,21 @@ class TestSuiteDefinition:
         assert groups == {"event_loop", "scheduler_dequeue", "end_to_end"}
         names = [b.name for b in benches]
         assert len(names) == len(set(names))  # names are unique keys
-        # Both engines appear in both engine-sensitive groups.
+        # Both engines appear in both engine-sensitive groups (the
+        # flat-core lean-loop entry has no event queue, hence no
+        # ``engine`` param — it is keyed by ``core`` instead).
         for group in ("event_loop", "end_to_end"):
             engines = {
-                b.params["engine"] for b in benches if b.group == group
+                b.params["engine"] for b in benches
+                if b.group == group and "engine" in b.params
             }
             assert engines == {"heap", "calendar"}
+        # The flat-core benches ride along: scalar-datapath dequeues at
+        # every sweep size plus the lean end-to-end replay.
+        assert "e2e_srr_bottleneck[fastpath-n256]" in names
+        for n in (16, 512, 4096):
+            assert f"dequeue[srr:fast-n{n}]" in names
+            assert f"dequeue[drr:fast-n{n}]" in names
 
 
 class TestCli:
