@@ -195,9 +195,40 @@ def main(argv: List[str] = None) -> int:
              "monotonicity, work conservation) where the experiment "
              "supports it",
     )
+    parser.add_argument(
+        "--core", choices=("object", "fast"), default=None,
+        help="scheduler core for experiments that support it: 'fast' "
+             "swaps in the flat twins (srr -> srr:fast) and profiles "
+             "the scalar datapath via the flight recorder",
+    )
+    parser.add_argument(
+        "--flight", type=int, nargs="?", const=6, default=None,
+        metavar="SHIFT",
+        help="arm the process-wide flight recorder at 1-in-2^SHIFT "
+             "sampling (default shift 6 = 1/64); recording totals land "
+             "in the artifact's obs.flight block",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="append live heartbeat frames (JSONL) to PATH from this "
+             "process and every sweep worker; watch them with "
+             "'python -m repro.obs top'",
+    )
     args = parser.parse_args(argv)
 
+    import os
+
     from ..harness import write_artifact
+    from ..obs.flight import (
+        FLIGHT_ENV_VAR,
+        FlightRecorder,
+        set_flight_recorder,
+    )
+    from ..obs.telemetry import (
+        TELEMETRY_ENV_VAR,
+        get_telemetry,
+        set_telemetry,
+    )
     from ..obs.trace import Tracer, set_tracer
 
     scale = "quick" if args.quick else args.scale
@@ -227,6 +258,35 @@ def main(argv: List[str] = None) -> int:
                 f"--check-invariants is not supported by "
                 f"{', '.join(unsupported)}"
             )
+    if args.core is not None:
+        overrides = dict(overrides)
+        overrides["core"] = args.core
+        unsupported = [
+            n for n in names if "core" not in SPECS[n].param_names()
+        ]
+        if unsupported and args.experiment != "all":
+            raise ConfigurationError(
+                f"--core is not supported by {', '.join(unsupported)}"
+            )
+    # Observability plumbing: both are env-var activated so sweep pool
+    # workers (fresh processes) pick them up on their own.
+    saved_env = {}
+    recorder = None
+    previous_recorder = None
+    if args.flight is not None:
+        recorder = FlightRecorder(sample_shift=args.flight)
+        previous_recorder = set_flight_recorder(recorder)
+        saved_env[FLIGHT_ENV_VAR] = os.environ.get(FLIGHT_ENV_VAR)
+        os.environ[FLIGHT_ENV_VAR] = str(args.flight)
+    telemetry = None
+    if args.telemetry is not None:
+        saved_env[TELEMETRY_ENV_VAR] = os.environ.get(TELEMETRY_ENV_VAR)
+        os.environ[TELEMETRY_ENV_VAR] = args.telemetry
+        set_telemetry(None)
+        telemetry = get_telemetry()
+        telemetry.frame(
+            "run_start", experiments=names, scale=scale, seed=args.seed,
+        )
     payloads = []
     try:
         for name in names:
@@ -271,6 +331,22 @@ def main(argv: List[str] = None) -> int:
             print(f"wrote {written} trace events to {args.trace} "
                   f"({tracer.dropped} dropped by the ring buffer)",
                   file=sys.stderr)
+        if recorder is not None:
+            set_flight_recorder(previous_recorder)
+            snap = recorder.snapshot()
+            print(f"flight recorder: {snap['recorded']} records "
+                  f"({snap['ops_seen']} ops seen at 1/"
+                  f"{snap['sample_rate']} sampling, "
+                  f"{snap['dropped']} overwritten)", file=sys.stderr)
+        if telemetry is not None:
+            telemetry.frame("run_end", experiments=names)
+            telemetry.close()
+            set_telemetry(None)
+        for var, prev in saved_env.items():
+            if prev is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = prev
     if args.json:
         print(json.dumps(payloads[0] if len(payloads) == 1 else payloads,
                          indent=2))

@@ -58,12 +58,16 @@ def check_seed(
     twin while keeping variant names — the digest is over the *names* and
     service orders, so a fast run of the corpus must produce the same
     digest as an object run (the PR-blocking cross-core check)."""
+    from ..obs.telemetry import get_telemetry
+
     scenario = generate_scenario(seed, quick=quick)
     names = list(variant_names) if variant_names else [
         v.name for v in VARIANTS()
     ]
     violations: List[Dict[str, Any]] = []
     hasher = hashlib.sha256()
+    # Env-activated in pool workers (REPRO_TELEMETRY); None when off.
+    tele = get_telemetry()
     for name in names:
         variant = variant_by_name(name)
         run = run_scenario(variant, scenario, core=core)
@@ -71,6 +75,12 @@ def check_seed(
         for v in check_scenario(variant, scenario, run=run,
                                 engine_check=engine_check, core=core):
             violations.append(v.to_json_dict())
+        if tele is not None:
+            tele.heartbeat(seed=seed, variant=name,
+                           violations=len(violations))
+    if tele is not None:
+        tele.frame("seed_done", seed=seed, variants=len(names),
+                   violations=len(violations))
     return {
         "seed": seed,
         "violations": violations,
@@ -162,6 +172,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="print a machine-readable summary to stdout")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report failures without shrinking")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="append live heartbeat frames (JSONL) to "
+                             "PATH from this process and every fuzz "
+                             "worker; watch with 'python -m repro.obs "
+                             "top'")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -207,7 +222,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         for i, seed in enumerate(seeds)
     ]
-    records = sweep(check_seed, tasks, jobs=args.jobs)
+    telemetry = None
+    saved_tele_env = None
+    if args.telemetry is not None:
+        import os
+
+        from ..obs.telemetry import (
+            TELEMETRY_ENV_VAR,
+            get_telemetry,
+            set_telemetry,
+        )
+
+        saved_tele_env = os.environ.get(TELEMETRY_ENV_VAR)
+        os.environ[TELEMETRY_ENV_VAR] = args.telemetry
+        set_telemetry(None)
+        telemetry = get_telemetry()
+        telemetry.frame(
+            "run_start", mode="conformance", seeds=len(seeds),
+            core=args.core, total=len(tasks),
+        )
+    try:
+        records = sweep(check_seed, tasks, jobs=args.jobs)
+    finally:
+        if telemetry is not None:
+            import os
+
+            from ..obs.telemetry import set_telemetry
+
+            telemetry.frame("run_end", mode="conformance")
+            telemetry.close()
+            set_telemetry(None)
+            if saved_tele_env is None:
+                os.environ.pop("REPRO_TELEMETRY", None)
+            else:
+                os.environ["REPRO_TELEMETRY"] = saved_tele_env
 
     digest = hashlib.sha256(
         "".join(r["digest"] for r in records).encode()

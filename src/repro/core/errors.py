@@ -64,8 +64,10 @@ class InvariantViolation(ReproError):
 
     Structured so failures are diagnosable from the exception alone: the
     named ``check`` that fired, the scheduler it fired on, a ``details``
-    dict with the offending values, and — when a tracer was active — the
-    ``trace_window`` of events leading up to the violation.
+    dict with the offending values, and — when a tracer or flight
+    recorder was active — the ``trace_window`` of packet events and/or
+    ``flight_window`` of sampled fastpath records leading up to the
+    violation.
     """
 
     def __init__(
@@ -74,11 +76,13 @@ class InvariantViolation(ReproError):
         scheduler: str = "?",
         details: object = None,
         trace_window: object = None,
+        flight_window: object = None,
     ) -> None:
         self.check = check
         self.scheduler = scheduler
         self.details = dict(details or {})
         self.trace_window = list(trace_window or [])
+        self.flight_window = list(flight_window or [])
         parts = [f"invariant {check!r} violated on scheduler {scheduler!r}"]
         if self.details:
             parts.append(
@@ -86,4 +90,8 @@ class InvariantViolation(ReproError):
             )
         if self.trace_window:
             parts.append(f"last {len(self.trace_window)} trace events attached")
+        if self.flight_window:
+            parts.append(
+                f"last {len(self.flight_window)} flight records attached"
+            )
         super().__init__(" — ".join(parts))

@@ -40,6 +40,8 @@ from ..core.flow import check_weight
 from ..core.interfaces import PacketScheduler
 from ..core.opcount import NULL_COUNTER, OpCounter
 from ..core.packet import Packet
+from ..obs.flight import KIND_PULL, KIND_PUSH, get_flight_recorder
+from ..obs.trace import get_tracer
 from .state import FlowLanes, FlowView
 
 __all__ = ["FastScheduler"]
@@ -52,11 +54,101 @@ class FastScheduler(PacketScheduler):
     #: Marks flat-core schedulers for layers that special-case them.
     is_fastpath: ClassVar[bool] = True
 
+    #: Flight recorder / boundary tracer, ``None`` as *class* attributes
+    #: so the unarmed hot path pays nothing at all: arming a flight
+    #: recorder swaps the instance onto a cached *armed twin* subclass
+    #: (see :func:`_flight_twin`) whose ``push``/``pull``/``pull_batch``
+    #: carry the sampling code. Instance-``__dict__`` method shadowing
+    #: was measured to cost ~40ns on *every* ``self.x`` access of the
+    #: shadowed instance (CPython 3.11 materialises the dict and drops
+    #: out of the shared-keys/inline-cache fast path), which the class
+    #: swap avoids entirely — the twin's methods specialise as well as
+    #: the bare ones.
+    _flight: ClassVar[Optional[Any]] = None
+    _tracer: ClassVar[Optional[Any]] = None
+    #: On armed twin classes, the bare class they were derived from
+    #: (used by ``FlightRecorder.disarm`` to restore the instance).
+    _flight_base: ClassVar[Optional[type]] = None
+
+    def __new__(cls, *args: Any, **kwargs: Any) -> "FastScheduler":
+        # When a process-global recorder is armed, instances are *born*
+        # as the armed twin class: assigning __class__ after the fact
+        # (like the post-hoc ``FlightRecorder.arm`` path does) makes
+        # CPython materialise the instance dict, costing ~40ns on every
+        # subsequent ``self.x`` access — far more than the sampling.
+        if cls._flight_base is None and get_flight_recorder() is not None:
+            cls = _flight_twin(cls)
+        return super().__new__(cls)
+
     def __init__(self, *, op_counter: OpCounter = NULL_COUNTER) -> None:
         self.lanes = FlowLanes()
         self._backlog_packets = 0
         self._backlog_bytes = 0
         self._ops = op_counter
+        tracer = get_tracer()
+        recorder = get_flight_recorder()
+        if tracer is not None:
+            self._tracer = tracer
+            self._trace_n = 0
+            # Boundary records sample on the recorder's mask when one is
+            # armed, else on every packet (the trace ring is bounded).
+            self._trace_mask = recorder.mask if recorder is not None else 0
+            self.push = self._observed_push
+        if recorder is not None:
+            self._arm_flight(recorder)
+        elif tracer is not None:
+            # Dequeue-side boundary records need the shadowed pull even
+            # without a recorder; batches fall back to the per-pull loop
+            # so every served packet crosses the traced boundary.
+            self._bare_pull = type(self).pull.__get__(self)
+            self.pull = self._observed_pull
+            self.pull_batch = self._unfused_pull_batch
+
+    # -- observability arming ----------------------------------------------
+
+    def _arm_flight(self, recorder: Any) -> None:
+        """Attach ``recorder`` by swapping onto the armed twin class.
+
+        The twin (cached per bare class) carries the sampling variants of
+        ``push``/``pull`` — and ``pull_batch`` when the class ships a
+        fused ``_observed_pull_batch``. The instance ``__dict__`` gains
+        exactly one data key (``_flight``), never a method shadow.
+        """
+        self._flight = recorder
+        twin = _flight_twin(type(self))
+        if twin is not type(self):
+            self.__class__ = twin
+
+    def _observed_pull(self) -> Optional[Tuple[int, int, Any]]:
+        """``pull`` with boundary tracing (tracer-only arming).
+
+        Bound over the class method as an instance attribute when a
+        tracer is armed without a flight recorder; with a recorder the
+        armed twin's ``pull`` emits the trace records instead.
+        """
+        pulled = self._bare_pull()
+        if pulled is not None:
+            self._trace_n = n = self._trace_n + 1
+            if not n & self._trace_mask:
+                slot = pulled[0]
+                self._tracer.emit(
+                    "dequeue", 0.0, flow=self.lanes.fids[slot], slot=slot,
+                    size=pulled[1], core="fast",
+                )
+        return pulled
+
+    def _unfused_pull_batch(self, budget: int) -> List[Tuple[int, int, Any]]:
+        """The base per-pull batch loop, bound over a fused override."""
+        return FastScheduler.pull_batch(self, budget)
+
+    def observe_lanes(self, registry: Any, **labels: Any) -> None:
+        """Export :class:`FlowLanes` counters into ``registry``.
+
+        Labels default to the scheduler name so fast-core runs populate
+        the same ``RunResult.obs`` metrics block object-core runs do.
+        """
+        labels.setdefault("scheduler", self.name)
+        self.lanes.observe(registry, **labels)
 
     # -- flow management ---------------------------------------------------
 
@@ -123,6 +215,23 @@ class FastScheduler(PacketScheduler):
         self._backlog_bytes += packet.size
         if not was_backlogged:
             self._on_backlogged_slot(slot)
+        recorder = self._flight
+        if recorder is not None:
+            recorder.n = n = recorder.n + 1
+            if not n & recorder.mask:
+                recorder.record(
+                    KIND_PUSH, slot, packet.size, 0, 0,
+                    lanes.deficit[slot], lanes.q_count[slot],
+                )
+        tracer = self._tracer
+        if tracer is not None:
+            self._trace_n = n = self._trace_n + 1
+            if not n & self._trace_mask:
+                tracer.emit(
+                    "enqueue", recorder.now if recorder is not None else 0.0,
+                    flow=packet.flow_id, uid=packet.uid, slot=slot,
+                    size=packet.size, core="fast",
+                )
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -134,7 +243,12 @@ class FastScheduler(PacketScheduler):
     # -- scalar datapath ---------------------------------------------------
 
     def push(self, slot: int, size: int, ref: Any = None) -> bool:
-        """Scalar enqueue: no packet object, ``ref`` rides the ring."""
+        """Scalar enqueue: no packet object, ``ref`` rides the ring.
+
+        Carries no instrumentation at all — flight sampling lives in the
+        armed twin's ``push`` (:func:`_flight_push`, kept in sync with
+        this body) so the unarmed path pays nothing.
+        """
         lanes = self.lanes
         was_backlogged = lanes.q_count[slot] > 0
         if not lanes.push(slot, size, ref):
@@ -143,6 +257,24 @@ class FastScheduler(PacketScheduler):
         self._backlog_bytes += size
         if not was_backlogged:
             self._on_backlogged_slot(slot)
+        return True
+
+    def _observed_push(self, slot: int, size: int, ref: Any = None) -> bool:
+        """``push`` with boundary tracing, bound when a tracer is armed
+        (keeps the bare ``push`` untouched when tracing is off).
+
+        Dispatches through ``type(self).push`` so that on a flight-armed
+        twin the sampled push still runs underneath the trace shim."""
+        if not type(self).push(self, slot, size, ref):
+            return False
+        self._trace_n = n = self._trace_n + 1
+        if not n & self._trace_mask:
+            recorder = self._flight
+            self._tracer.emit(
+                "enqueue", recorder.now if recorder is not None else 0.0,
+                flow=self.lanes.fids[slot], slot=slot, size=size,
+                core="fast",
+            )
         return True
 
     def pull(self) -> Optional[Tuple[int, int, Any]]:
@@ -198,3 +330,106 @@ class FastScheduler(PacketScheduler):
             f"{type(self).__name__}(flows={self.lanes.flow_count}, "
             f"backlog={self._backlog_packets})"
         )
+
+
+# -- flight-armed twin classes -------------------------------------------------
+#
+# Arming a FlightRecorder must not slow down *anything else* about the
+# instance. Binding instrumented methods into the instance __dict__ (the
+# InvariantGuard trick) turned out to do exactly that: CPython 3.11
+# materialises the instance dict when methods are shadowed, every
+# ``self.x`` load on the instance falls off the shared-keys inline-cache
+# fast path, and the armed scheduler pays ~40ns per attribute access —
+# in *bare* code that never looks at the recorder. Swapping the
+# instance's __class__ onto a cached subclass whose methods carry the
+# sampling keeps the dict pristine and lets the twin's methods
+# specialise exactly like the bare ones.
+
+def _flight_push(self: "FastScheduler", slot: int, size: int,
+                 ref: Any = None) -> bool:
+    """``FastScheduler.push`` plus the sampling bump (armed twins only).
+
+    A full copy of the bare body rather than a delegating wrapper: one
+    extra Python-level call per push would cost more than the sampling
+    itself. Keep in sync with :meth:`FastScheduler.push`.
+    """
+    lanes = self.lanes
+    was_backlogged = lanes.q_count[slot] > 0
+    if not lanes.push(slot, size, ref):
+        return False
+    self._backlog_packets += 1
+    self._backlog_bytes += size
+    if not was_backlogged:
+        self._on_backlogged_slot(slot)
+    recorder = self._flight
+    recorder.n = n = recorder.n + 1
+    if not n & recorder.mask:
+        recorder.record(
+            KIND_PUSH, slot, size, 0, 0,
+            lanes.deficit[slot], lanes.q_count[slot],
+        )
+    return True
+
+
+def _make_flight_pull(bare_pull: Any) -> Any:
+    """Build the armed twin's ``pull`` over the bare class ``pull``."""
+
+    def pull(self: "FastScheduler",
+             _bare: Any = bare_pull) -> Optional[Tuple[int, int, Any]]:
+        recorder = self._flight
+        recorder.n = n = recorder.n + 1
+        if n & recorder.mask:
+            return _bare(self)
+        ops = self._ops
+        ops_before = ops.count
+        terms_before = getattr(self, "terms_scanned", 0)
+        pulled = _bare(self)
+        if pulled is not None:
+            slot = pulled[0]
+            lanes = self.lanes
+            recorder.record(
+                KIND_PULL, slot, pulled[1], ops.count - ops_before,
+                getattr(self, "terms_scanned", 0) - terms_before,
+                lanes.deficit[slot], lanes.q_count[slot],
+            )
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(
+                    "dequeue", recorder.now, flow=lanes.fids[slot],
+                    slot=slot, size=pulled[1], core="fast",
+                )
+        return pulled
+
+    pull.__doc__ = (
+        "``pull`` with flight sampling: a counter bump and one mask test "
+        "per call; a sampled call brackets the bare pull with op-count "
+        "baselines and stores one record."
+    )
+    return pull
+
+
+#: Cache of bare class -> armed twin (one twin per scheduler class).
+_FLIGHT_TWINS: dict = {}
+
+
+def _flight_twin(cls: type) -> type:
+    """The flight-armed twin class for ``cls`` (cached; idempotent)."""
+    if cls._flight_base is not None:
+        return cls  # already a twin
+    twin = _FLIGHT_TWINS.get(cls)
+    if twin is None:
+        ns: dict = {
+            "_flight_base": cls,
+            "push": _flight_push,
+            "pull": _make_flight_pull(cls.pull),
+            "__module__": cls.__module__,
+        }
+        # A class shipping a fused batch loop also ships its chunked
+        # sampling variant; classes without one inherit the base
+        # per-pull loop, which routes through the twin's pull.
+        observed_batch = getattr(cls, "_observed_pull_batch", None)
+        if observed_batch is not None:
+            ns["pull_batch"] = observed_batch
+        twin = type("_Flight" + cls.__name__, (cls,), ns)
+        _FLIGHT_TWINS[cls] = twin
+    return twin

@@ -36,6 +36,7 @@ from typing import Any, ClassVar, Dict, List, Optional, Tuple
 from ..core.errors import ConfigurationError
 from ..core.opcount import NULL_COUNTER, OpCounter
 from ..core.wss import _materialized
+from ..obs.flight import KIND_PULL
 from .base import FastScheduler
 
 __all__ = ["FastSRRScheduler"]
@@ -357,6 +358,97 @@ class FastSRRScheduler(FastScheduler):
                     continue
             if not advance():
                 break
+        return out
+
+    # -- observability arming ----------------------------------------------
+
+    def _observed_pull_batch(self, budget: int) -> List[Tuple[int, int, Any]]:
+        """The fused batch loop with flight sampling.
+
+        Becomes the armed twin class's ``pull_batch`` (see
+        :func:`repro.fastpath.base._flight_twin`); never called unarmed.
+
+        Identical service order to :meth:`pull_batch` at identical
+        per-item cost: the batch is served in *chunks* that run the
+        bare fused loop up to the next sampled index (``limit`` replaces
+        ``budget`` as the loop bound — zero extra work per unsampled
+        item), then one item is served with ops/terms baselines captured
+        immediately before it — so a sampled record's deltas cover
+        exactly one packet, including the inter-packet WSS advances,
+        matching what a single instrumented ``pull`` measures.
+        """
+        recorder = self._flight
+        if self.mode != "packet":
+            return FastScheduler.pull_batch(self, budget)
+        out: List[Tuple[int, int, Any]] = []
+        append = out.append
+        ops = self._ops
+        nslot, nx = self.nslot, self.nx
+        lanes = self.lanes
+        q_count = lanes.q_count
+        deficit = lanes.deficit
+        pop = lanes.pop
+        advance = self._advance_term
+        tracer = self._tracer
+        mask = recorder.mask
+        # 0-based index (within this batch) of the next sampled item.
+        target = mask - (recorder.n & mask)
+        n = 0
+        empty = False
+        while n < budget and not empty:
+            limit = target if target < budget else budget
+            while n < limit:
+                node = self._cursor
+                if node >= 0:
+                    slot = nslot[node]
+                    if slot >= 0:
+                        self._cursor = nx[node]
+                        ops.bump()
+                        size, ref = pop(slot)
+                        if not q_count[slot]:
+                            self._unlink(slot)
+                        self._departed(size)
+                        append((slot, size, ref))
+                        n += 1
+                        continue
+                if not advance():
+                    empty = True
+                    break
+            if empty or n >= budget:
+                break
+            # n == target: serve exactly one sampled, instrumented item.
+            ops_base = ops.count
+            terms_base = self.terms_scanned
+            while True:
+                node = self._cursor
+                if node >= 0:
+                    slot = nslot[node]
+                    if slot >= 0:
+                        self._cursor = nx[node]
+                        ops.bump()
+                        size, ref = pop(slot)
+                        if not q_count[slot]:
+                            self._unlink(slot)
+                        self._departed(size)
+                        append((slot, size, ref))
+                        n += 1
+                        recorder.record(
+                            KIND_PULL, slot, size, ops.count - ops_base,
+                            self.terms_scanned - terms_base, deficit[slot],
+                            q_count[slot],
+                        )
+                        if tracer is not None:
+                            tracer.emit(
+                                "dequeue", recorder.now,
+                                flow=lanes.fids[slot], slot=slot, size=size,
+                                core="fast",
+                            )
+                        target += mask + 1
+                        break
+                if not advance():
+                    empty = True
+                    break
+        recorder.n += n
         return out
 
     # -- introspection -----------------------------------------------------

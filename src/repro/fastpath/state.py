@@ -82,6 +82,10 @@ class FlowLanes:
         self.packets_dropped: List[int] = []
         #: Total ring growths performed (observability / ring tests).
         self.ring_growths = 0
+        #: Slots handed out from the free list (churn reuse, not growth).
+        self.slot_recycles = 0
+        #: High-water mark of any single flow ring's occupancy.
+        self.max_ring_occupancy = 0
 
     # -- slot lifecycle ----------------------------------------------------
 
@@ -96,6 +100,7 @@ class FlowLanes:
         limit = -1 if max_queue is None else max_queue
         if self._free:
             slot = self._free.pop()
+            self.slot_recycles += 1
             self.fids[slot] = fid
             self.weight[slot] = weight
             self.max_queue[slot] = limit
@@ -151,6 +156,35 @@ class FlowLanes:
     def flow_count(self) -> int:
         return len(self.slot_of)
 
+    @property
+    def free_depth(self) -> int:
+        """Slots currently parked on the free list."""
+        return len(self._free)
+
+    def observe(self, registry: Any, **labels: Any) -> None:
+        """Export the data-plane counters into a metrics registry.
+
+        Fast-core runs have no per-flow objects for the object-core
+        observability hooks to read, so without this the metrics block
+        of a ``--core fast`` run is silently empty. Counter values are
+        cumulative totals (registry merge adds); high-water marks go
+        through ``set_max`` gauges so parallel shards merge correctly.
+        """
+        registry.counter("lanes_ring_growths_total", **labels).inc(
+            self.ring_growths
+        )
+        registry.counter("lanes_slot_recycles_total", **labels).inc(
+            self.slot_recycles
+        )
+        registry.gauge("lanes_max_ring_occupancy", **labels).set_max(
+            self.max_ring_occupancy
+        )
+        registry.gauge("lanes_free_depth", **labels).set_max(self.free_depth)
+        registry.gauge("lanes_slots", **labels).set_max(len(self.fids))
+        registry.gauge("lanes_live_flows", **labels).set_max(
+            len(self.slot_of)
+        )
+
     def live_slots(self) -> List[int]:
         """Currently allocated slots (iteration order = slot order)."""
         return [s for s, fid in enumerate(self.fids) if fid is not None]
@@ -172,8 +206,11 @@ class FlowLanes:
         tail = (self.q_head[slot] + count) & (cap - 1)
         self.q_size[slot][tail] = size
         self.q_ref[slot][tail] = ref
-        self.q_count[slot] = count + 1
+        count += 1
+        self.q_count[slot] = count
         self.q_bytes[slot] += size
+        if count > self.max_ring_occupancy:
+            self.max_ring_occupancy = count
         return True
 
     def pop(self, slot: int) -> Tuple[int, Any]:

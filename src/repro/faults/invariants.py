@@ -15,8 +15,9 @@ profile is bit-identical with guards off; a test asserts it).
 
 Violations raise a structured
 :class:`~repro.core.errors.InvariantViolation` carrying the failed check,
-the offending values, and — when a tracer is active — the window of
-trace events leading up to the corruption.
+the offending values, and — when a tracer or flight recorder is
+active — the window of trace events and/or sampled fastpath records
+leading up to the corruption.
 
 Cost model: per-dequeue checks are O(1) comparisons; the structural
 sweep (matrix walk, per-flow credit audit) is O(flows) and runs every
@@ -29,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..core.errors import InvariantViolation
+from ..obs.flight import get_flight_recorder
 from ..obs.metrics import MetricsRegistry
 from ..obs.metrics import get_registry as _active_registry
 from ..obs.trace import Tracer, get_tracer
@@ -126,8 +128,16 @@ class InvariantGuard:
         window = []
         if self.tracer is not None:
             window = self.tracer.events()[-self.window:]
+        # Crash-dump the flight recorder too: on the fast core the trace
+        # window is usually empty, and the sampled operation records are
+        # the only view of what the datapath did before the corruption.
+        recorder = get_flight_recorder()
+        flight_window = (
+            recorder.window(self.window) if recorder is not None else []
+        )
         violation = InvariantViolation(
             check, scheduler=self.kind, details=details, trace_window=window,
+            flight_window=flight_window,
         )
         self._violations.inc()
         self.violations.append(violation)

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ArtifactError, ConfigurationError, ReproError
+from ..obs.telemetry import get_telemetry
 from .io import atomic_write_json, load_json_checked
 
 __all__ = [
@@ -276,8 +277,10 @@ def _run_inline(
     hashes: Sequence[str],
 ) -> Dict[int, Any]:
     """Serial in-process execution with retries (no timeout support)."""
+    tele = get_telemetry()
+    failed = 0
     outcomes: Dict[int, Any] = {}
-    for index in indices:
+    for done, index in enumerate(indices):
         history: List[Dict[str, Any]] = []
         for _attempt in range(retries + 1):
             try:
@@ -289,6 +292,10 @@ def _run_inline(
             outcomes[index] = _failed_run(
                 index, tasks[index], hashes[index], seed, history
             )
+            failed += 1
+        if tele is not None:
+            tele.heartbeat(kind="sweep", done=done + 1, total=len(indices),
+                           failed=failed)
     return outcomes
 
 
@@ -326,14 +333,18 @@ def _run_isolated(
     from multiprocessing.connection import wait as conn_wait
 
     ctx = mp.get_context()
+    tele = get_telemetry()
+    retried = 0
     pending: deque = deque((index, 0) for index in indices)
     histories: Dict[int, List[Dict[str, Any]]] = {i: [] for i in indices}
     live: Dict[Any, Tuple[int, int, Any, Optional[float]]] = {}
     outcomes: Dict[int, Any] = {}
 
     def settle(index: int, entry: Dict[str, Any], attempt: int) -> None:
+        nonlocal retried
         histories[index].append(entry)
         if attempt < retries:
+            retried += 1
             pending.append((index, attempt + 1))
         else:
             outcomes[index] = _failed_run(
@@ -341,6 +352,17 @@ def _run_isolated(
             )
 
     while pending or live:
+        if tele is not None:
+            tele.heartbeat(
+                kind="sweep",
+                done=len(outcomes),
+                total=len(indices),
+                live=len(live),
+                failed=sum(
+                    1 for o in outcomes.values() if isinstance(o, FailedRun)
+                ),
+                retried=retried,
+            )
         while pending and len(live) < jobs:
             index, attempt = pending.popleft()
             parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -509,6 +531,7 @@ def _sweep_fast(
 ) -> List[Any]:
     """The zero-overhead path (no timeout/retries/collect/checkpoint):
     inline loop or process pool, exceptions wrapped with point context."""
+    tele = get_telemetry()
     if jobs == 1 or len(tasks) <= 1:
         results = []
         for index, task in enumerate(tasks):
@@ -521,6 +544,9 @@ def _sweep_fast(
                         [_failure_entry(exc)],
                     )
                 ) from exc
+            if tele is not None:
+                tele.heartbeat(kind="sweep", done=index + 1,
+                               total=len(tasks))
         return results
     from concurrent.futures import ProcessPoolExecutor
 
@@ -538,4 +564,7 @@ def _sweep_fast(
                         [_failure_entry(exc)],
                     )
                 ) from exc
+            if tele is not None:
+                tele.heartbeat(kind="sweep", done=index + 1,
+                               total=len(tasks))
         return results

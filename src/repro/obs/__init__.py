@@ -14,11 +14,24 @@ free) when disabled:
 * :mod:`repro.obs.profile` — per-dequeue op-count and WSS-scan-length
   distributions, the empirical evidence behind the paper's O(1) claim
   (experiment E5's p50/p99/max columns).
+* :mod:`repro.obs.flight` — a zero-allocation sampling flight recorder
+  for the flat cores' scalar datapath, whose snapshot is the
+  ``obs.flight`` block (and, at ``sample_shift=0``, the fast core's
+  exact E5 evidence).
+* :mod:`repro.obs.telemetry` — per-run JSONL heartbeat frames from
+  long-running workers, watched live by ``python -m repro.obs top``
+  (:mod:`repro.obs.top`).
 
 ``python -m repro.obs report results/<exp>/<run>.json`` renders the
-metrics block of any artifact. See docs/observability.md.
+metrics and flight blocks of any artifact. See docs/observability.md.
 """
 
+from .flight import (
+    FLIGHT_ENV_VAR,
+    FlightRecorder,
+    get_flight_recorder,
+    set_flight_recorder,
+)
 from .metrics import (
     DELAY_BUCKETS_S,
     NULL_REGISTRY,
@@ -35,7 +48,20 @@ from .metrics import (
     set_registry,
 )
 from .profile import DequeueProfiler, percentile
-from .report import load_metrics_block, render_metrics, split_key
+from .report import (
+    load_flight_block,
+    load_metrics_block,
+    render_flight,
+    render_metrics,
+    split_key,
+)
+from .telemetry import (
+    TELEMETRY_ENV_VAR,
+    TelemetryWriter,
+    get_telemetry,
+    read_telemetry,
+    set_telemetry,
+)
 from .trace import EVENT_KINDS, Tracer, get_tracer, set_tracer, trace_network
 
 __all__ = [
@@ -43,22 +69,33 @@ __all__ = [
     "DELAY_BUCKETS_S",
     "DequeueProfiler",
     "EVENT_KINDS",
+    "FLIGHT_ENV_VAR",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
     "OPS_BUCKETS",
+    "TELEMETRY_ENV_VAR",
+    "TelemetryWriter",
     "Tracer",
+    "get_flight_recorder",
     "get_registry",
+    "get_telemetry",
     "get_tracer",
+    "load_flight_block",
     "load_metrics_block",
     "log10_buckets",
     "log2_buckets",
     "metric_key",
     "percentile",
+    "read_telemetry",
+    "render_flight",
     "render_metrics",
+    "set_flight_recorder",
     "set_registry",
+    "set_telemetry",
     "set_tracer",
     "split_key",
     "trace_network",

@@ -1,20 +1,24 @@
-"""``python -m repro.obs`` — observability CLI (artifact summarizer)."""
+"""``python -m repro.obs`` — observability CLI (artifacts + live runs)."""
 
 import argparse
 import sys
 from typing import List
 
-from .report import load_metrics_block, render_metrics
+from .report import load_flight_block, load_metrics_block, render_flight, \
+    render_metrics
+from .top import DEFAULT_STALL_AFTER_S
+from .top import main as top_main
 
 
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Inspect the observability data of results/ artifacts.",
+        description="Inspect the observability data of results/ artifacts "
+                    "and watch running sweeps live.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     report = sub.add_parser(
-        "report", help="summarise the metrics block of run artifacts"
+        "report", help="summarise the metrics/flight blocks of run artifacts"
     )
     report.add_argument(
         "artifacts", nargs="+",
@@ -24,7 +28,35 @@ def main(argv: List[str] = None) -> int:
         "--family", default=None,
         help="only show one metric family (e.g. dequeue_ops)",
     )
+    top = sub.add_parser(
+        "top", help="live dashboard over the telemetry files of a results "
+                    "dir (throughput, progress/ETA, stall detection)"
+    )
+    top.add_argument(
+        "target",
+        help="a results dir (scanned recursively) or one telemetry .jsonl",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single snapshot and exit (CI / scripting mode)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="refresh period in seconds (default 2)",
+    )
+    top.add_argument(
+        "--stall-after", type=float, default=DEFAULT_STALL_AFTER_S,
+        metavar="S",
+        help="flag a source STALLED after this many frameless seconds "
+             f"(default {DEFAULT_STALL_AFTER_S:g})",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "top":
+        return top_main(
+            args.target, once=args.once, interval_s=args.interval,
+            stall_after=args.stall_after,
+        )
 
     status = 0
     for path in args.artifacts:
@@ -36,6 +68,13 @@ def main(argv: List[str] = None) -> int:
             status = 1
             continue
         print(render_metrics(metrics, family=args.family))
+        try:
+            flight = load_flight_block(path)
+        except (OSError, ValueError):
+            flight = None
+        if flight:
+            print()
+            print(render_flight(flight))
         print()
     return status
 

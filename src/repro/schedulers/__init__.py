@@ -14,7 +14,12 @@ Degenerate: :class:`~repro.schedulers.fifo.FIFOScheduler`.
 
 from .drr import DRRScheduler
 from .fifo import FIFOScheduler
-from .registry import available_schedulers, create_scheduler, register_scheduler
+from .registry import (
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+    resolve_scheduler,
+)
 from .rr import RoundRobinScheduler
 from .scfq import SCFQScheduler
 from .stfq import STFQScheduler
@@ -38,4 +43,5 @@ __all__ = [
     "available_schedulers",
     "create_scheduler",
     "register_scheduler",
+    "resolve_scheduler",
 ]

@@ -31,7 +31,12 @@ from .wf2q import WF2QPlusScheduler
 from .wfq import WFQScheduler
 from .wrr import WRRScheduler
 
-__all__ = ["create_scheduler", "register_scheduler", "available_schedulers"]
+__all__ = [
+    "create_scheduler",
+    "register_scheduler",
+    "available_schedulers",
+    "resolve_scheduler",
+]
 
 SchedulerFactory = Callable[..., PacketScheduler]
 
@@ -93,3 +98,21 @@ def available_schedulers() -> List[str]:
     """Sorted list of registered scheduler names (extensions included)."""
     _load_extensions()
     return sorted(_REGISTRY)
+
+
+def resolve_scheduler(name: str, core: str = "object") -> str:
+    """Map a registry name to the requested core's implementation.
+
+    ``core="object"`` is the identity; ``core="fast"`` swaps in the flat
+    twin (``srr`` -> ``srr:fast``) where one exists and leaves every
+    other discipline on the object core — so a fast-core run covers the
+    identical discipline list under the identical input names. Shared by
+    the conformance harness and the bench CLI's ``--core`` flag.
+    """
+    if core == "object":
+        return name
+    if core != "fast":
+        raise ConfigurationError(f"unknown scheduler core {core!r}")
+    from repro.fastpath import FAST_CORES
+
+    return f"{name}:fast" if name in FAST_CORES else name

@@ -124,6 +124,18 @@ class TestHistogram:
         with pytest.raises(ValueError):
             a.merge(b.snapshot())
 
+    def test_merge_disjoint_buckets(self):
+        # Sweep workers can each see a disjoint value range; the merged
+        # histogram must cover the union with the global extremes.
+        a, b = Histogram((1.0, 4.0, 16.0)), Histogram((1.0, 4.0, 16.0))
+        a.observe(1)    # lowest bucket only
+        b.observe(99)   # overflow bucket only
+        a.merge(b.snapshot())
+        assert a.count == 2
+        assert a.buckets == [1, 0, 0, 1]
+        assert a.minimum == 1 and a.maximum == 99
+        assert a.quantile(0.99) == 99  # overflow reads the exact max
+
     def test_merge_empty_histogram_keeps_none_extremes(self):
         a = Histogram((1.0,))
         a.merge(Histogram((1.0,)).snapshot())

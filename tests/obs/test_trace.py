@@ -46,6 +46,17 @@ class TestTracerBuffer:
         assert tr.dropped == 6
         assert [e["uid"] for e in tr.events()] == [6, 7, 8, 9]
 
+    def test_wrap_at_exact_capacity(self):
+        tr = Tracer(capacity=4)
+        for i in range(4):
+            tr.emit("enqueue", float(i), uid=i)
+        # Exactly full: everything retained, nothing counted dropped.
+        assert len(tr) == 4 and tr.dropped == 0
+        assert [e["uid"] for e in tr.events()] == [0, 1, 2, 3]
+        tr.emit("enqueue", 4.0, uid=4)
+        assert len(tr) == 4 and tr.dropped == 1
+        assert [e["uid"] for e in tr.events()] == [1, 2, 3, 4]
+
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             Tracer(capacity=0)
