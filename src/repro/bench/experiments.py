@@ -74,6 +74,7 @@ __all__ = [
     "e11_variable_packet_sizes",
     "e12_admission_quotes",
     "e13_churn_resilience",
+    "e14_overload_control",
 ]
 
 
@@ -1567,6 +1568,274 @@ def e13_churn_resilience(
 
 
 # ---------------------------------------------------------------------------
+# E14 — [ext] adaptive overload control: SLO compliance under churn
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class E14Params:
+    schedulers: Tuple[str, ...] = ("srr", "drr")
+    #: Which control-plane arms to run: "both" (on + off per scheduler),
+    #: "on", or "off".
+    control: str = "both"
+    duration: float = 4.0
+    #: Guaranteed (CAC-admitted) flows and their aggregate share of the
+    #: bottleneck.
+    n_guaranteed: int = 4
+    guaranteed_fraction: float = 0.55
+    #: Churn overload: joins/s, mean hold, weight bits. The defaults
+    #: oversubscribe the 10 Mb/s bottleneck ~2x when ungated.
+    churn_rate_hz: float = 20.0
+    churn_hold_s: float = 1.5
+    churn_max_weight_bits: int = 5
+    burst_rate_hz: float = 2.0
+    #: Watermarks (fractions of bottleneck capacity).
+    low: float = 0.70
+    high: float = 0.90
+    #: SLO target = quoted bound × this margin.
+    slo_margin: float = 1.0
+    #: The operator-sized booking bound N for the N-dependent quotes.
+    #: The paper's worst case (capacity / unit rate = 625 here) quotes a
+    #: bound so loose a short run cannot violate it; a realistically
+    #: provisioned CAC books for the expected population.
+    assumed_max_flows: int = 48
+    #: Arm the closed-loop weight/quantum adapter.
+    adapt_weights: bool = False
+
+
+def _e14_point(
+    scheduler: str,
+    control_on: bool,
+    duration: float,
+    n_guaranteed: int,
+    guaranteed_fraction: float,
+    churn_cfg: Tuple[float, float, int, float],
+    low: float,
+    high: float,
+    slo_margin: float,
+    assumed_max_flows: int,
+    adapt_weights: bool,
+    seed: int,
+) -> Dict:
+    from ..faults import FaultInjector, FaultSpec, build_fault_plan
+    from ..net.scenario import Network
+    from ..net.sources import CBRSource
+    from ..obs.metrics import MetricsRegistry, set_registry
+    from ..obs.profile import percentile
+    from ..qos import AdmissionController, ControlPlane, SLOWatchdog
+
+    churn_hz, churn_hold, churn_bits, burst_hz = churn_cfg
+    registry = MetricsRegistry()
+    kwargs: Dict = {}
+    if scheduler in ("srr", "drr"):
+        kwargs["quantum"] = MTU
+    if scheduler == "srr":
+        kwargs["mode"] = "deficit"
+    previous = set_registry(registry)
+    try:
+        net = Network(default_scheduler=scheduler,
+                      default_scheduler_kwargs=kwargs)
+        for n in ("src", "router", "dst"):
+            net.add_node(n)
+        net.add_link("src", "router", rate_bps=100e6, delay=0.0001)
+        # Unbounded bottleneck buffer: overload must show up as delay
+        # (the violated promise), not be masked by drop-tail.
+        net.add_link("router", "dst", rate_bps=BOTTLENECK_BPS, delay=0.001)
+    finally:
+        set_registry(previous)
+    bottleneck = net.port("router", "dst")
+    admission = AdmissionController(
+        net, weight_unit_bps=WEIGHT_UNIT_BPS, packet_size=MTU,
+        assumed_max_flows=assumed_max_flows,
+    )
+    # CAC-admitted guaranteed class, well inside capacity on its own.
+    rate = guaranteed_fraction * BOTTLENECK_BPS / n_guaranteed
+    reservations = []
+    for i in range(n_guaranteed):
+        reservation = admission.request(
+            f"guar{i}", "src", "dst", rate_bps=rate
+        )
+        reservations.append(reservation)
+        net.attach_source(
+            f"guar{i}", CBRSource(rate_bps=rate, packet_size=MTU)
+        )
+    plane = None
+    if control_on:
+        plane = ControlPlane(
+            net, admission, seed=seed, low=low, high=high,
+            interval_s=0.05, horizon=duration, mode="record",
+            slo_margin=slo_margin, adapt_weights=adapt_weights,
+            registry=registry,
+        ).arm([bottleneck])
+        watchdog = plane.watchdog
+        for reservation in reservations:
+            plane.watch(reservation)
+    else:
+        # Uncontrolled arm: same promises watched, nothing defends them.
+        watchdog = SLOWatchdog(mode="record", registry=registry)
+        watchdog.attach(net.sinks)
+        for reservation in reservations:
+            watchdog.watch(
+                reservation.flow_id,
+                reservation.quote.total * slo_margin,
+            )
+    plan = build_fault_plan(
+        FaultSpec(
+            churn_rate_hz=churn_hz, churn_hold_s=churn_hold,
+            churn_max_weight_bits=churn_bits, burst_rate_hz=burst_hz,
+        ),
+        seed=seed, duration=duration,
+        links=[("router", "dst")], churn_route=("src", "dst"),
+        burst_node="src", weight_unit_bps=WEIGHT_UNIT_BPS, packet_size=MTU,
+    )
+    injector = FaultInjector(
+        net, plan, fault_route=("src", "dst"), registry=registry,
+        gate=plane,
+    )
+    injector.install()
+    net.run(until=duration)
+    if plane is not None:
+        plane.stop()
+    guar_delays = sorted(
+        d for i in range(n_guaranteed) for d in net.sinks.delays(f"guar{i}")
+    )
+    violations_by_class = {}
+    for violation in watchdog.violations:
+        violations_by_class[violation.service_class] = (
+            violations_by_class.get(violation.service_class, 0) + 1
+        )
+    # The honored-or-revoked audit: a live (unrevoked) reservation with a
+    # recorded violation is a silently broken promise.
+    silently_violated = sum(
+        1 for r in reservations
+        if not r.revoked and watchdog.violation_count(r.flow_id) > 0
+        and r.flow_id in admission.reservations
+    )
+    record = {
+        "scheduler": scheduler,
+        "control": "on" if control_on else "off",
+        "guaranteed_violations": violations_by_class.get("guaranteed", 0),
+        "silently_violated": silently_violated,
+        "revocations": admission.revocations,
+        "quote_ms": round(
+            max(r.quote.total for r in reservations) * 1e3, 3
+        ),
+        "guar_p99_ms": round(
+            percentile(guar_delays, 0.99) * 1e3, 3
+        ) if guar_delays else None,
+        "guar_max_ms": round(
+            max(guar_delays) * 1e3, 3
+        ) if guar_delays else None,
+        "shed": plane.policy.shed if plane is not None else 0,
+        "admitted_joins": plane.policy.admitted if plane is not None else 0,
+        "rejected": plane.policy.rejected if plane is not None else 0,
+        "demoted": (
+            plane.governor.demoted_packets
+            if plane is not None and plane.governor is not None else 0
+        ),
+        "reweights": (
+            len(plane.adapter.adjustments)
+            if plane is not None and plane.adapter is not None else 0
+        ),
+        "faults_fired": len(injector.fired),
+        "plan_sig": plan.signature(),
+        "metrics_snapshot": registry.snapshot(),
+        "engine": net.engine_stats(),
+    }
+    return record
+
+
+def _e14_body(p: E14Params, ctx: RunContext) -> Dict:
+    """Guaranteed-class SLO compliance under overload churn (E14).
+
+    Per scheduler, two arms share one fault plan (same seed): the
+    *uncontrolled* arm admits guaranteed flows through the CAC and lets
+    churn blow through the bottleneck — the weighted share of each
+    guaranteed flow drops below its reserved rate, queues grow, and its
+    quoted delay bound is violated. The *controlled* arm arms the
+    :class:`~repro.qos.ControlPlane`: offered-load estimation at the
+    bottleneck, watermark gating of churn joins (probabilistic shedding
+    between ``low`` and ``high``), best-effort demotion at the high
+    watermark, and the SLO watchdog + governor ensuring any promise that
+    cannot be kept is explicitly revoked. Expected: zero guaranteed
+    violations with control on, violations without.
+    """
+    if p.control not in ("both", "on", "off"):
+        raise ValueError(
+            f"control must be 'both', 'on' or 'off', got {p.control!r}"
+        )
+    arms = {"both": (False, True), "on": (True,), "off": (False,)}[p.control]
+    churn_cfg = (
+        p.churn_rate_hz, p.churn_hold_s, p.churn_max_weight_bits,
+        p.burst_rate_hz,
+    )
+    tasks = []
+    for si, scheduler in enumerate(p.schedulers):
+        # One seed per scheduler, shared by both arms: identical fault
+        # plans make on-vs-off a controlled comparison.
+        seed = ctx.child_seed(si)
+        for control_on in arms:
+            tasks.append((
+                scheduler, control_on, p.duration, p.n_guaranteed,
+                p.guaranteed_fraction, churn_cfg, p.low, p.high,
+                p.slo_margin, p.assumed_max_flows, p.adapt_weights, seed,
+            ))
+    records = ctx.sweep(_e14_point, tasks)
+    for record in records:
+        ctx.record_metrics(record.pop("metrics_snapshot"))
+        ctx.record_engine(record.pop("engine"))
+    ctx.add_points(records)
+    ctx.table(
+        ["scheduler", "control", "SLO viol", "silent", "revoked", "shed",
+         "admitted", "quote ms", "p99 ms", "max ms"],
+        records=records,
+        columns=["scheduler", "control", "guaranteed_violations",
+                 "silently_violated", "revocations", "shed",
+                 "admitted_joins", "quote_ms", "guar_p99_ms", "guar_max_ms"],
+        title="E14: guaranteed-class SLO compliance under overload churn "
+              "(watermark shedding + SLO watchdog + governor, on vs off)",
+    )
+    results: Dict = {}
+    for record in records:
+        results.setdefault(record["scheduler"], {})[record["control"]] = {
+            "guaranteed_violations": record["guaranteed_violations"],
+            "silently_violated": record["silently_violated"],
+            "revocations": record["revocations"],
+            "shed": record["shed"],
+            "plan_sig": record["plan_sig"],
+        }
+    results["controlled_violations"] = sum(
+        r["guaranteed_violations"] for r in records if r["control"] == "on"
+    )
+    results["uncontrolled_violations"] = sum(
+        r["guaranteed_violations"] for r in records if r["control"] == "off"
+    )
+    results["silently_violated_total"] = sum(
+        r["silently_violated"] for r in records
+    )
+    return results
+
+
+def e14_overload_control(
+    schedulers: Sequence[str] = None,
+    *,
+    control: str = None,
+    duration: float = None,
+    churn_rate_hz: float = None,
+    adapt_weights: bool = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Guaranteed-class SLO compliance, control plane on vs off (E14)."""
+    return _metrics(
+        "e14",
+        {"schedulers": schedulers, "control": control,
+         "duration": duration, "churn_rate_hz": churn_rate_hz,
+         "adapt_weights": adapt_weights},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
+
+
+# ---------------------------------------------------------------------------
 # The declarative experiment registry
 # ---------------------------------------------------------------------------
 
@@ -1687,6 +1956,20 @@ SPECS: Dict[str, ExperimentSpec] = {
             "full": {
                 "intensities": (0.0, 1.0, 2.0, 4.0, 8.0, 16.0),
                 "duration": 10.0, "n_flows": 16,
+            },
+        },
+    ),
+    "e14": ExperimentSpec(
+        eid="e14",
+        title="[ext] adaptive overload control: SLO compliance under churn",
+        params_type=E14Params,
+        body=_e14_body,
+        scales={
+            "quick": {"duration": 3.0, "schedulers": ("srr",)},
+            "full": {
+                "duration": 8.0,
+                "schedulers": ("srr", "drr"),
+                "adapt_weights": True,
             },
         },
     ),

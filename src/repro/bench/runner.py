@@ -42,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable[..., Dict]] = {
     "e11": experiments.e11_variable_packet_sizes,
     "e12": experiments.e12_admission_quotes,
     "e13": experiments.e13_churn_resilience,
+    "e14": experiments.e14_overload_control,
 }
 
 _DESCRIPTIONS = {eid: spec.title for eid, spec in SPECS.items()}
@@ -67,6 +68,7 @@ def run_config(
     quiet: bool = True,
     timeout: Optional[float] = None,
     retries: int = 0,
+    retry_backoff: float = 0.0,
     checkpoint_dir: Optional[str] = None,
     engine: Optional[str] = None,
     overrides: Optional[Mapping[str, Any]] = None,
@@ -80,8 +82,8 @@ def run_config(
         ) from None
     config = build_config(
         spec, seed=seed, scale=scale, jobs=jobs, quiet=quiet,
-        timeout=timeout, retries=retries, checkpoint_dir=checkpoint_dir,
-        engine=engine, overrides=overrides,
+        timeout=timeout, retries=retries, retry_backoff=retry_backoff,
+        checkpoint_dir=checkpoint_dir, engine=engine, overrides=overrides,
     )
     return run_config_for_spec(spec, config)
 
@@ -183,6 +185,13 @@ def main(argv: List[str] = None) -> int:
              "(each attempt's child seed is recorded in the artifact)",
     )
     parser.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base delay of the seeded exponential backoff (with jitter) "
+             "between retry attempts; each wait is recorded per attempt "
+             "in the artifact's failure records (default 0 = retry "
+             "immediately)",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="checkpoint each sweep point under "
              "<results-dir>/<exp>/checkpoints/ and skip points whose "
@@ -194,6 +203,24 @@ def main(argv: List[str] = None) -> int:
              "integrity, DRR credit conservation, WFQ vtime "
              "monotonicity, work conservation) where the experiment "
              "supports it",
+    )
+    parser.add_argument(
+        "--control", choices=("on", "off", "both"), default=None,
+        help="overload control plane arm selection for experiments that "
+             "support it (e14): 'on' runs only the controlled arm, 'off' "
+             "only the uncontrolled baseline, 'both' the paired "
+             "comparison (e14's default)",
+    )
+    parser.add_argument(
+        "--watermark-low", type=float, default=None, metavar="FRAC",
+        help="admission watermark below which joins are always admitted "
+             "(fraction of bottleneck capacity; e14 default 0.70)",
+    )
+    parser.add_argument(
+        "--watermark-high", type=float, default=None, metavar="FRAC",
+        help="admission watermark at/above which joins are always "
+             "rejected; between low and high they are shed "
+             "probabilistically (e14 default 0.90)",
     )
     parser.add_argument(
         "--core", choices=("object", "fast"), default=None,
@@ -258,6 +285,22 @@ def main(argv: List[str] = None) -> int:
                 f"--check-invariants is not supported by "
                 f"{', '.join(unsupported)}"
             )
+    for flag, key, value in (
+        ("--control", "control", args.control),
+        ("--watermark-low", "low", args.watermark_low),
+        ("--watermark-high", "high", args.watermark_high),
+    ):
+        if value is None:
+            continue
+        overrides = dict(overrides)
+        overrides[key] = value
+        unsupported = [
+            n for n in names if key not in SPECS[n].param_names()
+        ]
+        if unsupported and args.experiment != "all":
+            raise ConfigurationError(
+                f"{flag} is not supported by {', '.join(unsupported)}"
+            )
     if args.core is not None:
         overrides = dict(overrides)
         overrides["core"] = args.core
@@ -306,6 +349,7 @@ def main(argv: List[str] = None) -> int:
                 quiet=args.quiet or args.json,
                 timeout=args.timeout,
                 retries=args.retries,
+                retry_backoff=args.retry_backoff,
                 checkpoint_dir=checkpoint_dir,
                 engine=args.engine,
                 overrides=overrides if args.experiment != "all" else {

@@ -20,6 +20,7 @@ from .errors import (
     InvalidWeightError,
     InvariantViolation,
     ReproError,
+    SLOViolation,
     SimulationError,
     UnknownFlowError,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "Packet",
     "PacketScheduler",
     "ReproError",
+    "SLOViolation",
     "SRRScheduler",
     "SimulationError",
     "UnknownFlowError",

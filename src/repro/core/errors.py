@@ -59,6 +59,54 @@ class ArtifactError(ReproError):
     (or worse, silently returning garbage) on partial writes."""
 
 
+class SLOViolation(ReproError):
+    """A flow's observed delay exceeded its quoted/targeted bound.
+
+    The control-plane twin of :class:`InvariantViolation`: raised (or
+    recorded) by the per-flow SLO watchdog when a delivered packet's
+    end-to-end delay exceeds the bound the admission controller quoted
+    (or an explicit per-class target). Structured the same way so
+    failures are diagnosable from the exception alone — the flow and its
+    service class, the observed delay vs the target, a ``details`` dict,
+    and the trace/flight windows leading up to the late delivery when a
+    tracer or flight recorder was active.
+    """
+
+    def __init__(
+        self,
+        flow_id: object,
+        observed_s: float,
+        target_s: float,
+        service_class: str = "?",
+        details: object = None,
+        trace_window: object = None,
+        flight_window: object = None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.observed_s = observed_s
+        self.target_s = target_s
+        self.service_class = service_class
+        self.details = dict(details or {})
+        self.trace_window = list(trace_window or [])
+        self.flight_window = list(flight_window or [])
+        parts = [
+            f"SLO violated for flow {flow_id!r} [{service_class}]: "
+            f"observed {observed_s * 1e3:.3f} ms > "
+            f"target {target_s * 1e3:.3f} ms"
+        ]
+        if self.details:
+            parts.append(
+                "; ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
+            )
+        if self.trace_window:
+            parts.append(f"last {len(self.trace_window)} trace events attached")
+        if self.flight_window:
+            parts.append(
+                f"last {len(self.flight_window)} flight records attached"
+            )
+        super().__init__(" — ".join(parts))
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant guard caught corrupted scheduler state.
 

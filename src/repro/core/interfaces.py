@@ -17,8 +17,13 @@ from __future__ import annotations
 import abc
 from typing import ClassVar, Dict, Hashable, Iterable, Optional
 
-from .errors import DuplicateFlowError, InvalidWeightError, UnknownFlowError
-from .flow import FlowState
+from .errors import (
+    ConfigurationError,
+    DuplicateFlowError,
+    InvalidWeightError,
+    UnknownFlowError,
+)
+from .flow import ColumnNode, FlowState, check_weight, iter_set_bits
 from .opcount import NULL_COUNTER, OpCounter
 from .packet import Packet
 
@@ -105,7 +110,17 @@ class FlowTableScheduler(PacketScheduler):
     The base class validates weights according to
     ``requires_integer_weights`` and keeps ``backlog``/``backlog_bytes``
     exact, including on drops and flow removal.
+
+    Disciplines whose flow hookup is fully captured by the three hooks
+    (SRR, DRR) additionally support **in-place reweighting**
+    (:meth:`reweight`): the flow is detached, its weight (and, for
+    binary-coded weights, its column nodes) rewritten, and re-attached —
+    the queue is never touched, so no packet is dropped or reordered by
+    a weight change. They opt in via ``supports_reweight``.
     """
+
+    #: Whether :meth:`reweight` is implemented for this discipline.
+    supports_reweight: ClassVar[bool] = False
 
     def __init__(self, *, op_counter: OpCounter = NULL_COUNTER) -> None:
         self._flows: Dict[Hashable, FlowState] = {}
@@ -162,6 +177,61 @@ class FlowTableScheduler(PacketScheduler):
     def flow_count(self) -> int:
         """Number of registered flows."""
         return len(self._flows)
+
+    def reweight(self, flow_id: Hashable, weight: float) -> None:
+        """Change a registered flow's weight without touching its queue.
+
+        Detaches the flow from the discipline's structures
+        (:meth:`_on_flow_removed`), rewrites the weight (and column
+        nodes, for binary-coded weights), re-attaches it
+        (:meth:`_on_flow_added`, then :meth:`_on_backlogged` if packets
+        are queued). If the new weight is rejected — SRR's ``max_order``,
+        DRR's minimum per-visit credit, plain validation — the flow is
+        restored exactly as it was and the error re-raised.
+
+        Only disciplines with ``supports_reweight`` accept this;
+        others raise :class:`ConfigurationError`.
+        """
+        if not self.supports_reweight:
+            raise ConfigurationError(
+                f"scheduler {getattr(self, 'name', type(self).__name__)!r} "
+                f"does not support in-place reweighting"
+            )
+        flow = self._lookup(flow_id)
+        if weight == flow.weight:
+            return
+        if not self.requires_integer_weights:
+            if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+                raise InvalidWeightError(
+                    f"weight must be numeric, got {weight!r}"
+                )
+            if weight <= 0:
+                raise InvalidWeightError(f"weight must be > 0, got {weight}")
+        old_weight = flow.weight
+        old_nodes = flow.nodes
+        self._on_flow_removed(flow)
+        try:
+            if self.requires_integer_weights:
+                flow.weight = check_weight(weight)  # type: ignore[arg-type]
+                flow.nodes = {
+                    bit: ColumnNode(flow, bit)
+                    for bit in iter_set_bits(int(weight))
+                }
+            else:
+                flow.weight = float(weight)
+            self._on_flow_added(flow)
+        except Exception:
+            # _on_flow_added failure paths evict the flow from the table
+            # (SRR max_order, DRR credit floor); restore it fully.
+            flow.weight = old_weight
+            flow.nodes = old_nodes
+            self._flows[flow_id] = flow
+            self._on_flow_added(flow)
+            if flow.queue:
+                self._on_backlogged(flow)
+            raise
+        if flow.queue:
+            self._on_backlogged(flow)
 
     # -- datapath ------------------------------------------------------------
 

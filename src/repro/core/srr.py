@@ -95,6 +95,7 @@ class SRRScheduler(FlowTableScheduler):
 
     name: ClassVar[str] = "srr"
     requires_integer_weights: ClassVar[bool] = True
+    supports_reweight: ClassVar[bool] = True
 
     def __init__(
         self,

@@ -56,6 +56,13 @@ class FaultInjector:
             events. The carrier flow is installed best-effort with a
             small bounded queue, so bursts pressure the scheduler without
             an unbounded memory tail.
+        gate: Optional admission gate for churn joins — an object with
+            ``admit_join(flow_id, src, dst, weight=..., rate_bps=...)
+            -> bool`` (the control plane's watermark gate). A refused
+            join is recorded as a skipped fault (``shed``), its source
+            never attaches, so shed flows add zero load. ``flow_left``
+            (if present) is notified on leave so the gate can drop
+            per-flow estimator state.
         registry/tracer: Override the process-active metrics registry /
             tracer (both resolved at construction like ports do).
     """
@@ -68,6 +75,7 @@ class FaultInjector:
         drop_queued: bool = False,
         fault_route: Optional[Tuple[str, str]] = None,
         fault_queue: int = 64,
+        gate: Optional[Any] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -76,6 +84,7 @@ class FaultInjector:
         self.drop_queued = drop_queued
         self.fault_route = fault_route
         self.fault_queue = fault_queue
+        self.gate = gate
         self.tracer = tracer if tracer is not None else get_tracer()
         registry = registry if registry is not None else _active_registry()
         self._counters = {
@@ -164,6 +173,13 @@ class FaultInjector:
 
     def _fire_flow_join(self, ev: FaultEvent) -> None:
         flow = ev.arg("flow")
+        if self.gate is not None and not self.gate.admit_join(
+            flow, ev.arg("src"), ev.arg("dst"),
+            weight=ev.arg("weight", 1),
+            rate_bps=ev.arg("rate_bps", 16_000),
+        ):
+            self._skip(ev, "shed")
+            return
         try:
             self.net.add_flow(
                 flow, ev.arg("src"), ev.arg("dst"),
@@ -188,6 +204,10 @@ class FaultInjector:
             self._skip(ev, "flow not installed")
             return
         self.net.remove_flow(flow)
+        if self.gate is not None:
+            notify = getattr(self.gate, "flow_left", None)
+            if notify is not None:
+                notify(flow)
         self._record(ev)
 
     def _inject(self, node: str, flow_id: str, size: int) -> None:

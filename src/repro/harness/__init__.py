@@ -29,6 +29,7 @@ from .run import run_config_for_spec, run_spec
 from .sweep import (
     FailedRun,
     SweepPointError,
+    backoff_delay,
     child_seed,
     spawn_seeds,
     sweep,
@@ -52,6 +53,7 @@ __all__ = [
     "artifact_path",
     "atomic_write_json",
     "atomic_write_text",
+    "backoff_delay",
     "benchmark_summary",
     "build_config",
     "child_seed",

@@ -65,6 +65,7 @@ class ExperimentConfig:
     #: whether a run survives a hung or crashing point).
     timeout: Optional[float] = None
     retries: int = 0
+    retry_backoff: float = 0.0
     checkpoint_dir: Optional[str] = None
     #: Event-queue backend for every Simulator in the run (``"heap"`` /
     #: ``"calendar"``); ``None`` leaves the process default in place.
@@ -82,6 +83,7 @@ class ExperimentConfig:
             "quiet": self.quiet,
             "timeout": self.timeout,
             "retries": self.retries,
+            "retry_backoff": self.retry_backoff,
             "checkpoint_dir": self.checkpoint_dir,
             "engine": self.engine,
             "params": _jsonable(dict(self.params)),
@@ -97,6 +99,7 @@ class ExperimentConfig:
             quiet=data.get("quiet", True),
             timeout=data.get("timeout"),
             retries=data.get("retries", 0),
+            retry_backoff=data.get("retry_backoff", 0.0),
             checkpoint_dir=data.get("checkpoint_dir"),
             engine=data.get("engine"),
             params=dict(data.get("params", {})),
@@ -182,6 +185,7 @@ def build_config(
     quiet: bool = True,
     timeout: Optional[float] = None,
     retries: int = 0,
+    retry_backoff: float = 0.0,
     checkpoint_dir: Optional[str] = None,
     engine: Optional[str] = None,
     overrides: Optional[Mapping[str, Any]] = None,
@@ -199,6 +203,7 @@ def build_config(
         quiet=quiet,
         timeout=timeout,
         retries=retries,
+        retry_backoff=retry_backoff,
         checkpoint_dir=checkpoint_dir,
         engine=engine,
         params=resolve_params(spec, scale, overrides),
@@ -220,6 +225,7 @@ class RunContext:
         quiet: bool = True,
         timeout: Optional[float] = None,
         retries: int = 0,
+        retry_backoff: float = 0.0,
         checkpoint_dir: Optional[str] = None,
     ) -> None:
         self.seed = seed
@@ -227,6 +233,7 @@ class RunContext:
         self.quiet = quiet
         self.timeout = timeout
         self.retries = retries
+        self.retry_backoff = retry_backoff
         self.checkpoint_dir = checkpoint_dir
         self.points: List[Dict[str, Any]] = []
         self.tables: List[str] = []
@@ -289,6 +296,7 @@ class RunContext:
             jobs=self.jobs,
             timeout=self.timeout,
             retries=self.retries,
+            backoff=self.retry_backoff,
             failures="collect",
             seed=self.seed,
             checkpoint_dir=call_dir,

@@ -140,6 +140,7 @@ class RunResult:
         # whether a run survives a hung/crashing point.
         data["config"].pop("timeout", None)
         data["config"].pop("retries", None)
+        data["config"].pop("retry_backoff", None)
         data["config"].pop("checkpoint_dir", None)
         # The event-queue backend pops in identical (time, seq) order on
         # every kind, so it cannot change results either — the heap-vs-

@@ -33,6 +33,7 @@ def run_config_for_spec(
         quiet=config.quiet,
         timeout=config.timeout,
         retries=config.retries,
+        retry_backoff=config.retry_backoff,
         checkpoint_dir=config.checkpoint_dir,
     )
     saved = os.environ.get(ENGINE_ENV_VAR)
@@ -78,6 +79,7 @@ def run_spec(
     quiet: bool = True,
     timeout: Optional[float] = None,
     retries: int = 0,
+    retry_backoff: float = 0.0,
     checkpoint_dir: Optional[str] = None,
     engine: Optional[str] = None,
     overrides: Optional[Mapping[str, Any]] = None,
@@ -85,7 +87,7 @@ def run_spec(
     """Build the config for ``spec`` and run it in one call."""
     config = build_config(
         spec, seed=seed, scale=scale, jobs=jobs, quiet=quiet,
-        timeout=timeout, retries=retries, checkpoint_dir=checkpoint_dir,
-        engine=engine, overrides=overrides,
+        timeout=timeout, retries=retries, retry_backoff=retry_backoff,
+        checkpoint_dir=checkpoint_dir, engine=engine, overrides=overrides,
     )
     return run_config_for_spec(spec, config)

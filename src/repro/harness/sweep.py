@@ -17,6 +17,14 @@ Crash tolerance (opt-in, all off by default):
 * ``retries=`` — failed/timed-out points are re-run up to this many extra
   attempts; each attempt's re-derived child seed
   (``child_seed(child_seed(seed, index), attempt)``) is recorded.
+* ``backoff=`` — seeded exponential backoff with jitter between retry
+  attempts: attempt ``a`` waits ``min(cap, base * 2**a) * (0.5 +
+  0.5*u)`` seconds, where ``u`` is drawn from an RNG seeded by the
+  attempt's own child seed — so the delay schedule is reproducible from
+  the artifact, and a thundering herd of retrying points decorrelates.
+  Each wait is recorded as ``backoff_s`` in the failed attempt's history
+  entry. Backoff shifts only *when* an attempt starts, never its seed or
+  result.
 * ``failures="collect"`` — a point that exhausts its attempts becomes a
   structured :class:`FailedRun` *in the result list* instead of aborting
   the sweep; with the default ``"raise"`` the first failure raises a
@@ -32,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import random
 import time
 import traceback
 from collections import deque
@@ -46,6 +55,7 @@ from .io import atomic_write_json, load_json_checked
 __all__ = [
     "FailedRun",
     "SweepPointError",
+    "backoff_delay",
     "sweep",
     "child_seed",
     "spawn_seeds",
@@ -79,6 +89,24 @@ def child_seed(seed: int, index: int) -> int:
 def spawn_seeds(seed: int, n: int) -> List[int]:
     """``n`` independent child seeds for an ``n``-point sweep."""
     return [child_seed(seed, i) for i in range(n)]
+
+
+def backoff_delay(
+    seed: int, index: int, attempt: int, *, base: float, cap: float
+) -> float:
+    """Seconds to wait after failed ``attempt`` (0-based) of point
+    ``index`` before the next attempt.
+
+    Exponential growth (``base * 2**attempt``) clamped at ``cap``, then
+    jittered into ``[0.5x, 1.0x]`` by a uniform draw from an RNG seeded
+    with the failed attempt's own child seed — fully reproducible from
+    ``(seed, index, attempt)``, no process-global RNG touched.
+    """
+    if base <= 0:
+        return 0.0
+    raw = min(cap, base * (2.0 ** attempt))
+    u = random.Random(child_seed(child_seed(seed, index), attempt)).random()
+    return raw * (0.5 + 0.5 * u)
 
 
 def task_hash(fn: Callable, task: Tuple) -> str:
@@ -275,6 +303,8 @@ def _run_inline(
     retries: int,
     seed: int,
     hashes: Sequence[str],
+    backoff: float = 0.0,
+    backoff_cap: float = 30.0,
 ) -> Dict[int, Any]:
     """Serial in-process execution with retries (no timeout support)."""
     tele = get_telemetry()
@@ -282,12 +312,19 @@ def _run_inline(
     outcomes: Dict[int, Any] = {}
     for done, index in enumerate(indices):
         history: List[Dict[str, Any]] = []
-        for _attempt in range(retries + 1):
+        for attempt in range(retries + 1):
             try:
                 outcomes[index] = ("ok", fn(*tasks[index]))
                 break
             except Exception as exc:
-                history.append(_failure_entry(exc))
+                entry = _failure_entry(exc)
+                if attempt < retries and backoff > 0:
+                    delay = backoff_delay(
+                        seed, index, attempt, base=backoff, cap=backoff_cap
+                    )
+                    entry["backoff_s"] = round(delay, 6)
+                    time.sleep(delay)
+                history.append(entry)
         else:
             outcomes[index] = _failed_run(
                 index, tasks[index], hashes[index], seed, history
@@ -325,17 +362,24 @@ def _run_isolated(
     retries: int,
     seed: int,
     hashes: Sequence[str],
+    backoff: float = 0.0,
+    backoff_cap: float = 30.0,
 ) -> Dict[int, Any]:
     """Process-per-point execution: up to ``jobs`` live workers, each
     attempt terminated at its deadline. A pool cannot cancel a running
-    task, which is exactly why hung points need their own process."""
+    task, which is exactly why hung points need their own process.
+
+    Retrying points re-enter the queue with a ``not_before`` launch time
+    (seeded exponential backoff), so they wait without blocking other
+    points' launches."""
     import multiprocessing as mp
     from multiprocessing.connection import wait as conn_wait
 
     ctx = mp.get_context()
     tele = get_telemetry()
     retried = 0
-    pending: deque = deque((index, 0) for index in indices)
+    #: (index, attempt, earliest monotonic launch time).
+    pending: deque = deque((index, 0, 0.0) for index in indices)
     histories: Dict[int, List[Dict[str, Any]]] = {i: [] for i in indices}
     live: Dict[Any, Tuple[int, int, Any, Optional[float]]] = {}
     outcomes: Dict[int, Any] = {}
@@ -345,7 +389,14 @@ def _run_isolated(
         histories[index].append(entry)
         if attempt < retries:
             retried += 1
-            pending.append((index, attempt + 1))
+            not_before = 0.0
+            if backoff > 0:
+                delay = backoff_delay(
+                    seed, index, attempt, base=backoff, cap=backoff_cap
+                )
+                entry["backoff_s"] = round(delay, 6)
+                not_before = time.monotonic() + delay
+            pending.append((index, attempt + 1, not_before))
         else:
             outcomes[index] = _failed_run(
                 index, tasks[index], hashes[index], seed, histories[index]
@@ -363,8 +414,13 @@ def _run_isolated(
                 ),
                 retried=retried,
             )
+        now = time.monotonic()
+        deferred: List[Tuple[int, int, float]] = []
         while pending and len(live) < jobs:
-            index, attempt = pending.popleft()
+            index, attempt, not_before = pending.popleft()
+            if not_before > now:
+                deferred.append((index, attempt, not_before))
+                continue
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_point_worker,
@@ -375,9 +431,17 @@ def _run_isolated(
             child_conn.close()
             deadline = None if timeout is None else time.monotonic() + timeout
             live[parent_conn] = (index, attempt, proc, deadline)
-        deadlines = [d for (_, _, _, d) in live.values() if d is not None]
+        pending.extendleft(reversed(deferred))
+        wakeups = [d for (_, _, _, d) in live.values() if d is not None]
+        if deferred and len(live) < jobs:
+            # Capacity is free but every launchable point is backing
+            # off: wake when the earliest becomes eligible.
+            wakeups.append(min(nb for (_, _, nb) in deferred))
+        if not live:
+            time.sleep(max(0.0, min(wakeups) - time.monotonic()))
+            continue
         wait_for = (
-            max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
+            max(0.0, min(wakeups) - time.monotonic()) if wakeups else None
         )
         ready = set(conn_wait(list(live), timeout=wait_for))
         now = time.monotonic()
@@ -434,6 +498,8 @@ def sweep(
     jobs: Optional[int] = 1,
     timeout: Optional[float] = None,
     retries: int = 0,
+    backoff: float = 0.0,
+    backoff_cap: float = 30.0,
     failures: str = "raise",
     seed: int = 0,
     checkpoint_dir: Optional[Union[str, Path]] = None,
@@ -451,6 +517,11 @@ def sweep(
         retries: Extra attempts granted to a failed/timed-out point; each
             attempt's re-derived child seed is recorded in the failure
             record.
+        backoff: Base delay (seconds) of the seeded exponential backoff
+            between retry attempts (see :func:`backoff_delay`); ``0``
+            (default) retries immediately. Each wait is recorded as
+            ``backoff_s`` in that attempt's failure-history entry.
+        backoff_cap: Upper clamp (seconds) on the un-jittered delay.
         failures: ``"raise"`` (default) raises :class:`SweepPointError`
             on the first point that exhausts its attempts;
             ``"collect"`` places a :class:`FailedRun` in the result list
@@ -475,6 +546,12 @@ def sweep(
         )
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ConfigurationError(f"backoff must be >= 0, got {backoff}")
+    if backoff_cap <= 0:
+        raise ConfigurationError(
+            f"backoff_cap must be positive, got {backoff_cap}"
+        )
     if timeout is not None and timeout <= 0:
         raise ConfigurationError(f"timeout must be positive, got {timeout}")
 
@@ -504,10 +581,12 @@ def sweep(
             fresh = _run_isolated(
                 fn, tasks, pending, jobs=jobs, timeout=timeout,
                 retries=retries, seed=seed, hashes=hashes,
+                backoff=backoff, backoff_cap=backoff_cap,
             )
         else:
             fresh = _run_inline(
                 fn, tasks, pending, retries=retries, seed=seed, hashes=hashes,
+                backoff=backoff, backoff_cap=backoff_cap,
             )
         for index, outcome in fresh.items():
             outcomes[index] = outcome

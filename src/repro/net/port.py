@@ -83,6 +83,14 @@ class OutputPort:
         self._tx_event = None
         self._in_flight: Optional[Packet] = None
         self.on_transmit: List[TransmitHook] = []
+        #: Arrival hooks ``hook(now, packet)`` fired on *every* offered
+        #: packet, before any drop decision — the control plane's rate
+        #: estimators measure offered (not accepted) load from these.
+        self.on_arrival: List[TransmitHook] = []
+        #: Optional ingress policer ``policer(packet) -> Optional[str]``:
+        #: return a drop-reason string to refuse the packet (the overload
+        #: governor demotes best-effort traffic this way), None to accept.
+        self.policer: Optional[Callable[[Packet], Optional[str]]] = None
         #: Lifecycle tracer; defaults to the process-wide active one
         #: (usually None — tracing off).
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -118,14 +126,22 @@ class OutputPort:
 
     def enqueue(self, packet: Packet) -> bool:
         """Accept ``packet`` for transmission; False when dropped."""
-        packet.enqueued_at = self.sim.now
+        now = self.sim.now
+        packet.enqueued_at = now
         self.packets_in += 1
+        if self.on_arrival:
+            for hook in self.on_arrival:
+                hook(now, packet)
         if (
             self.max_packet_bytes is not None
             and packet.size > self.max_packet_bytes
         ):
             self._fault_malformed.inc()
             return self._drop(packet, "oversize")
+        if self.policer is not None:
+            reason = self.policer(packet)
+            if reason is not None:
+                return self._drop(packet, reason)
         if (
             self.buffer_packets is not None
             and self.scheduler.backlog >= self.buffer_packets

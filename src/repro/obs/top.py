@@ -102,6 +102,19 @@ def summarize(
             and total is not None and total > done
         ):
             eta = (total - done) / points_rate
+        # Overload-control state from the newest "control" frame (the
+        # ControlPlane's telemetry); absent for runs with no controller.
+        control = None
+        control_frames = [f for f in frames if f.get("kind") == "control"]
+        if control_frames:
+            last_control = control_frames[-1]
+            control = {
+                "zone": last_control.get("zone"),
+                "load": last_control.get("load"),
+                "shed": last_control.get("shed"),
+                "shed_per_s": _rate(control_frames, "shed"),
+                "revocations": last_control.get("revocations"),
+            }
         rows.append({
             "file": label,
             "pid": pid,
@@ -115,6 +128,7 @@ def summarize(
                 (f["failed"] for f in reversed(frames) if "failed" in f), None
             ),
             "eta_s": eta,
+            "control": control,
             "rss_kb": last.get("rss_kb"),
             "age_s": age,
             "finished": finished,
@@ -141,6 +155,15 @@ def render(rows: List[Dict[str, Any]], *, title: str = "telemetry") -> str:
         status = "done" if row["finished"] else (
             "STALLED" if row["stalled"] else "running"
         )
+        control = "-"
+        if row.get("control") is not None:
+            c = row["control"]
+            shed = c["shed"] if c["shed"] is not None else 0
+            control = f"{_cell(c['zone'])} shed:{shed}"
+            if c["shed_per_s"]:
+                control += f"({c['shed_per_s']:.1f}/s)"
+            if c["revocations"]:
+                control += f" rev:{c['revocations']}"
         table_rows.append([
             row["file"],
             row["pid"],
@@ -149,13 +172,14 @@ def render(rows: List[Dict[str, Any]], *, title: str = "telemetry") -> str:
             _cell(row["sim_time"], "{:.3f}"),
             progress,
             _cell(row["eta_s"], "{:.0f}s"),
+            control,
             _cell(row["rss_kb"]),
             f"{row['age_s']:.1f}s",
             status,
         ])
     return format_table(
         ["source", "pid", "last", "events", "sim_t", "points", "eta",
-         "rss_kb", "age", "status"],
+         "control", "rss_kb", "age", "status"],
         table_rows,
         title=title,
     )

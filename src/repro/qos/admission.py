@@ -75,7 +75,15 @@ class DelayQuote:
 
 @dataclass
 class Reservation:
-    """An admitted flow's control-plane record."""
+    """An admitted flow's control-plane record.
+
+    ``quote`` is the *current* promise; ``initial_quote`` the one made at
+    admission time (they differ once :meth:`AdmissionController.requote`
+    has folded in the measured active-flow count). A reservation that the
+    overload governor tears down keeps its record with ``revoked`` set —
+    a revoked flow's quote is explicitly withdrawn, never silently
+    violated.
+    """
 
     flow_id: Hashable
     src: str
@@ -85,6 +93,11 @@ class Reservation:
     sigma_bytes: float
     path: List[str] = field(default_factory=list)
     quote: Optional[DelayQuote] = None
+    initial_quote: Optional[DelayQuote] = None
+    #: Times the quote has been recomputed against measured N.
+    requotes: int = 0
+    revoked: bool = False
+    revoke_reason: Optional[str] = None
 
 
 class AdmissionController:
@@ -106,6 +119,12 @@ class AdmissionController:
         assumed_max_flows: The N plugged into N-dependent bounds (SRR,
             DRR). Default: ``link_rate / weight_unit_bps`` per link —
             the worst case a fully booked link allows.
+        adaptive_quotes: When True, quotes use the *measured* per-port
+            active-flow count (clamped to the worst case above) instead
+            of the frozen worst-case N, both at admission time and on
+            :meth:`requote`. Off by default: the conservative worst-case
+            quote is the paper's CAC and the baseline the existing
+            experiments assert against.
     """
 
     def __init__(
@@ -116,6 +135,7 @@ class AdmissionController:
         utilization_limit: float = 1.0,
         packet_size: int = 200,
         assumed_max_flows: Optional[int] = None,
+        adaptive_quotes: bool = False,
     ) -> None:
         if not 0 < utilization_limit <= 1.0:
             raise ConfigurationError("utilization_limit must be in (0, 1]")
@@ -126,10 +146,15 @@ class AdmissionController:
         self.utilization_limit = utilization_limit
         self.packet_size = packet_size
         self.assumed_max_flows = assumed_max_flows
+        self.adaptive_quotes = adaptive_quotes
         #: port -> reserved bits/s (id(port) keyed to avoid hashing ports).
         self._reserved: Dict[int, float] = {}
         self.reservations: Dict[Hashable, Reservation] = {}
+        #: Reservations the governor explicitly tore down (still
+        #: inspectable: "honored or revoked, never silently violated").
+        self.revoked: Dict[Hashable, Reservation] = {}
         self.rejections = 0
+        self.revocations = 0
 
     # -- admission -----------------------------------------------------------
 
@@ -186,7 +211,11 @@ class AdmissionController:
         reservation = Reservation(
             flow_id, src, dst, rate_bps, weight, sigma_bytes, path
         )
-        reservation.quote = self._quote(ports, rate_bps, weight, sigma_bytes)
+        reservation.quote = self._quote(
+            ports, rate_bps, weight, sigma_bytes,
+            measured_n=self.adaptive_quotes,
+        )
+        reservation.initial_quote = reservation.quote
         self.reservations[flow_id] = reservation
         return reservation
 
@@ -235,6 +264,77 @@ class AdmissionController:
         port = self.network.port(src, dst)
         return self._reserved.get(id(port), 0.0)
 
+    # -- adaptive re-quoting and revocation ----------------------------------
+
+    def requote(self, flow_id: Hashable) -> Optional[DelayQuote]:
+        """Recompute a reservation's N-dependent quote against the
+        *measured* per-port active-flow count.
+
+        The SRR/DRR bounds scale with the number of active flows N; the
+        admission-time quote plugs in a frozen worst case. Once flows
+        churn, the real N on each hop is known — this recomputes the
+        quote from the live scheduler flow tables (honestly: fewer
+        flows than booked tightens the quote, more flows than booked
+        loosens it past the promise, which is the overload governor's
+        cue to revoke), stores it on ``reservation.quote`` with
+        ``initial_quote`` preserved, and bumps ``requotes``.
+
+        Returns the new quote, or None for unknown/revoked flows.
+        """
+        reservation = self.reservations.get(flow_id)
+        if reservation is None:
+            return None
+        ports = self._ports_for(reservation.path)
+        if ports is None:
+            return None  # a link on the path was torn down
+        reservation.quote = self._quote(
+            ports,
+            reservation.rate_bps,
+            reservation.weight,
+            reservation.sigma_bytes,
+            measured_n=True,
+        )
+        reservation.requotes += 1
+        return reservation.quote
+
+    def requote_all(self) -> Dict[Hashable, DelayQuote]:
+        """Re-quote every live reservation; flow id -> new quote."""
+        quotes: Dict[Hashable, DelayQuote] = {}
+        for flow_id in list(self.reservations):
+            quote = self.requote(flow_id)
+            if quote is not None:
+                quotes[flow_id] = quote
+        return quotes
+
+    def revoke(self, flow_id: Hashable, *, reason: str = "overload") -> bool:
+        """Explicitly withdraw a reservation (graceful degradation).
+
+        The flow is torn down exactly as :meth:`release` would, but the
+        record survives in :attr:`revoked` with ``revoked=True`` and the
+        reason — so an audit can prove every admitted quote was either
+        honored or explicitly revoked, never silently violated. Returns
+        False for unknown (or already revoked) flows.
+        """
+        reservation = self.reservations.get(flow_id)
+        if reservation is None:
+            return False
+        reservation.revoked = True
+        reservation.revoke_reason = reason
+        self.revoked[flow_id] = reservation
+        self.revocations += 1
+        self.release(flow_id)
+        return True
+
+    def _ports_for(self, path: List[str]) -> Optional[List[OutputPort]]:
+        ports: List[OutputPort] = []
+        for a, b in zip(path, path[1:]):
+            node = self.network.nodes.get(a)
+            port = node.ports.get(b) if node is not None else None
+            if port is None:
+                return None
+            ports.append(port)
+        return ports
+
     # -- quoting ---------------------------------------------------------
 
     def _weight_for(self, port: OutputPort, rate_bps: float) -> float:
@@ -255,6 +355,8 @@ class AdmissionController:
         rate_bps: float,
         weight: float,
         sigma_bytes: float,
+        *,
+        measured_n: bool = False,
     ) -> DelayQuote:
         L = self.packet_size
         per_hop: List[float] = []
@@ -265,14 +367,14 @@ class AdmissionController:
             path_delay += link.delay + link.serialization_time(L)
             name = getattr(port.scheduler, "name", "")
             if name == "srr":
-                n = self._assumed_flows(link.rate_bps)
+                n = self._n_for(port, measured_n)
                 per_hop.append(
                     srr_delay_bound(
                         int(weight), n, L, link.rate_bps, self.weight_unit_bps
                     )
                 )
             elif name == "drr":
-                n = self._assumed_flows(link.rate_bps)
+                n = self._n_for(port, measured_n)
                 quantum = getattr(port.scheduler, "quantum", 1500)
                 per_hop.append(
                     drr_delay_bound(weight, n * 1.0 + weight, quantum, L,
@@ -315,6 +417,25 @@ class AdmissionController:
         if self.assumed_max_flows is not None:
             return self.assumed_max_flows
         return max(1, int(link_rate_bps // self.weight_unit_bps))
+
+    def _n_for(self, port: OutputPort, measured: bool) -> int:
+        """The N for a port's N-dependent bound: worst case, or measured.
+
+        Measured N reads the live scheduler flow table — churn flows
+        installed behind the controller's back included, so when churn
+        blows past the booking bound the measured quote honestly
+        *exceeds* the admission-time promise. That honesty is what the
+        overload governor enforces against: a re-quote looser than the
+        promise (by more than its slack) triggers revocation rather
+        than a silently broken bound.
+        """
+        worst = self._assumed_flows(port.link.rate_bps)
+        if not measured:
+            return worst
+        count = getattr(port.scheduler, "flow_count", None)
+        if count is None:
+            return worst
+        return max(1, int(count))
 
     def __repr__(self) -> str:
         return (

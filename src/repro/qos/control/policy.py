@@ -1,0 +1,125 @@
+"""Watermark admission policy with seeded probabilistic shedding.
+
+Classic two-watermark load control (the shape of sfctss's ACP): with
+``load`` the estimated utilisation of the protected resource,
+
+* ``load < low``            — **admit**;
+* ``low <= load < high``    — **shed** with probability
+  ``(load - low) / (high - low)`` (a linear ramp from 0 at the low
+  watermark to 1 at the high one), drawn from a *seeded* RNG so a
+  ``--jobs N`` sweep makes bit-identical decisions to a serial run;
+* ``load >= high``          — **reject** outright.
+
+The policy is deliberately tiny and stateless apart from the RNG: the
+zone/probability computation is a pure function of ``load``, so tests
+can assert the curve exactly, and the only randomness is the shed draw,
+whose consumption order is fixed by the deterministic event order of the
+simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ...core.errors import ConfigurationError
+
+__all__ = ["AdmissionDecision", "WatermarkPolicy"]
+
+#: Watermark zones, in increasing-load order.
+ZONES = ("admit", "shed", "reject")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One gate decision: what happened and why.
+
+    ``accepted`` is the verdict; ``zone`` the watermark band the load
+    fell in; ``shed_probability`` the ramp value (0 outside the shed
+    band); ``draw`` the RNG sample consumed (None when no draw was
+    needed — admit and reject zones are deterministic).
+    """
+
+    accepted: bool
+    zone: str
+    load: float
+    shed_probability: float
+    draw: Optional[float] = None
+
+
+class WatermarkPolicy:
+    """Two-watermark admit/shed/reject policy over a load estimate.
+
+    Args:
+        low: Utilisation below which everything is admitted.
+        high: Utilisation at/above which everything is rejected.
+        rng: The seeded RNG for shed draws. Pass a ``random.Random``
+            derived from the run's child seed; defaults to ``Random(0)``
+            (deterministic, but shared default — real callers should
+            inject their own stream).
+    """
+
+    def __init__(
+        self,
+        low: float = 0.75,
+        high: float = 0.95,
+        *,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= low < high:
+            raise ConfigurationError(
+                f"watermarks must satisfy 0 <= low < high, got "
+                f"low={low}, high={high}"
+            )
+        self.low = low
+        self.high = high
+        self.rng = rng if rng is not None else random.Random(0)
+        #: Decision counters (the plane mirrors these into the registry).
+        self.admitted = 0
+        self.shed = 0
+        self.rejected = 0
+
+    # -- the pure curve ------------------------------------------------------
+
+    def zone(self, load: float) -> str:
+        """The watermark band ``load`` falls in."""
+        if load < self.low:
+            return "admit"
+        if load < self.high:
+            return "shed"
+        return "reject"
+
+    def shed_probability(self, load: float) -> float:
+        """The linear shed ramp: 0 at/below ``low``, 1 at/above ``high``."""
+        if load <= self.low:
+            return 0.0
+        if load >= self.high:
+            return 1.0
+        return (load - self.low) / (self.high - self.low)
+
+    # -- the decision --------------------------------------------------------
+
+    def decide(self, load: float) -> AdmissionDecision:
+        """Admit/shed/reject at ``load``, consuming one RNG draw at most."""
+        zone = self.zone(load)
+        if zone == "admit":
+            self.admitted += 1
+            return AdmissionDecision(True, zone, load, 0.0)
+        if zone == "reject":
+            self.rejected += 1
+            return AdmissionDecision(False, zone, load, 1.0)
+        p = self.shed_probability(load)
+        draw = self.rng.random()
+        if draw < p:
+            self.shed += 1
+            return AdmissionDecision(False, zone, load, p, draw)
+        self.admitted += 1
+        return AdmissionDecision(True, zone, load, p, draw)
+
+    def __repr__(self) -> str:
+        return (
+            f"WatermarkPolicy(low={self.low}, high={self.high}, "
+            f"admitted={self.admitted}, shed={self.shed}, "
+            f"rejected={self.rejected})"
+        )

@@ -46,6 +46,7 @@ class DRRScheduler(FlowTableScheduler):
     """Deficit Round Robin with per-flow ``weight * quantum`` byte credit."""
 
     name: ClassVar[str] = "drr"
+    supports_reweight: ClassVar[bool] = True
 
     def __init__(self, *, quantum: int = 1500, **kwargs) -> None:
         super().__init__(**kwargs)

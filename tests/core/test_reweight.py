@@ -1,0 +1,120 @@
+"""In-place reweighting (FlowTableScheduler.reweight) for SRR and DRR.
+
+The weight adapter's closed loop depends on reweight being (a) live —
+the new weight takes effect for subsequent service without touching the
+queue — and (b) transactional — a rejected weight (SRR max-order, DRR
+credit floor, plain validation) restores the flow exactly as it was.
+"""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    InvalidWeightError,
+    Packet,
+    SRRScheduler,
+    UnknownFlowError,
+)
+from repro.schedulers import DRRScheduler, FIFOScheduler
+
+
+def load(sched, fid, n, size=100):
+    for i in range(n):
+        sched.enqueue(Packet(fid, size, seq=i))
+
+
+def service_counts(sched, n):
+    counts = {}
+    for _ in range(n):
+        p = sched.dequeue()
+        assert p is not None
+        counts[p.flow_id] = counts.get(p.flow_id, 0) + 1
+    return counts
+
+
+class TestSRR:
+    def test_reweight_changes_service_share(self):
+        s = SRRScheduler()
+        s.add_flow("a", 1)
+        s.add_flow("b", 1)
+        load(s, "a", 200)
+        load(s, "b", 200)
+        before = service_counts(s, 40)
+        assert abs(before["a"] - before["b"]) <= 2  # equal weights
+        s.reweight("a", 4)
+        assert s.flow_state("a").weight == 4
+        assert s.order == 3  # the matrix tracked the new top bit
+        after = service_counts(s, 100)
+        assert after["a"] > 2.5 * after["b"]  # ~4:1 share now
+
+    def test_reweight_preserves_queue(self):
+        s = SRRScheduler()
+        s.add_flow("a", 2)
+        load(s, "a", 10)
+        s.reweight("a", 5)
+        assert len(s.flow_state("a").queue) == 10
+        assert service_counts(s, 10) == {"a": 10}  # nothing lost
+
+    def test_noop_reweight(self):
+        s = SRRScheduler()
+        s.add_flow("a", 3)
+        load(s, "a", 1)
+        s.reweight("a", 3)
+        assert s.flow_state("a").weight == 3
+        assert s.dequeue().flow_id == "a"
+
+    def test_rejected_weight_restores_flow(self):
+        s = SRRScheduler(max_order=3)
+        s.add_flow("a", 7)
+        load(s, "a", 5)
+        with pytest.raises(ConfigurationError):
+            s.reweight("a", 16)  # bit_length 5 > max_order 3
+        # Fully restored: same weight, still registered, still servable.
+        assert s.has_flow("a")
+        assert s.flow_state("a").weight == 7
+        assert service_counts(s, 5) == {"a": 5}
+
+    def test_invalid_weight_rejected(self):
+        s = SRRScheduler()
+        s.add_flow("a", 1)
+        with pytest.raises(InvalidWeightError):
+            s.reweight("a", 0)
+        with pytest.raises(InvalidWeightError):
+            s.reweight("a", 2.5)
+        assert s.flow_state("a").weight == 1
+
+    def test_unknown_flow_raises(self):
+        with pytest.raises(UnknownFlowError):
+            SRRScheduler().reweight("ghost", 2)
+
+
+class TestDRR:
+    def test_reweight_changes_service_share(self):
+        s = DRRScheduler(quantum=100)
+        s.add_flow("a", 1)
+        s.add_flow("b", 1)
+        load(s, "a", 300, size=100)
+        load(s, "b", 300, size=100)
+        service_counts(s, 40)
+        s.reweight("a", 3)
+        after = service_counts(s, 200)
+        assert after["a"] > 2 * after["b"]
+
+    def test_credit_floor_rejected_and_restored(self):
+        s = DRRScheduler(quantum=1)
+        s.add_flow("a", 1)
+        load(s, "a", 3)
+        with pytest.raises(ConfigurationError):
+            s.reweight("a", 2 ** -30)  # below MIN_VISIT_CREDIT
+        assert s.has_flow("a")
+        assert s.flow_state("a").weight == 1
+        assert service_counts(s, 3) == {"a": 3}
+
+
+class TestUnsupported:
+    def test_fifo_refuses_reweight(self):
+        s = FIFOScheduler()
+        s.add_flow("a", 1)
+        assert not s.supports_reweight
+        with pytest.raises(ConfigurationError):
+            s.reweight("a", 2)

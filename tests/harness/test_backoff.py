@@ -1,0 +1,98 @@
+"""Seeded exponential retry backoff (repro.harness.sweep.backoff_delay)."""
+
+import time
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.harness import FailedRun, backoff_delay, sweep
+
+
+def always_fails(x):
+    raise ValueError(f"nope: {x}")
+
+
+class TestDelayCurve:
+    def test_deterministic(self):
+        a = backoff_delay(7, 3, 1, base=0.5, cap=30.0)
+        b = backoff_delay(7, 3, 1, base=0.5, cap=30.0)
+        assert a == b
+
+    def test_exponential_growth_with_jitter_band(self):
+        """Attempt a's un-jittered delay is base * 2**a; the jitter keeps
+        the actual wait in [0.5, 1.0] times that."""
+        for attempt in range(5):
+            raw = 0.5 * 2 ** attempt
+            d = backoff_delay(1, 0, attempt, base=0.5, cap=1e9)
+            assert raw * 0.5 <= d <= raw
+
+    def test_cap_clamps(self):
+        d = backoff_delay(1, 0, 20, base=1.0, cap=2.0)
+        assert d <= 2.0
+
+    def test_zero_base_means_no_wait(self):
+        assert backoff_delay(1, 0, 3, base=0.0, cap=30.0) == 0.0
+
+    def test_distinct_points_decorrelate(self):
+        delays = {
+            backoff_delay(9, i, 0, base=1.0, cap=30.0) for i in range(20)
+        }
+        assert len(delays) > 10  # the jitter actually spreads the herd
+
+
+class TestSweepIntegration:
+    def test_inline_records_backoff_per_attempt(self):
+        t0 = time.monotonic()
+        results = sweep(
+            always_fails, [(1,)], retries=2, backoff=0.02,
+            failures="collect", seed=7,
+        )
+        elapsed = time.monotonic() - t0
+        (failure,) = results
+        assert isinstance(failure, FailedRun)
+        assert failure.attempts == 3
+        waits = [h.get("backoff_s") for h in failure.history]
+        # Two retries waited; the final attempt has nothing after it.
+        assert waits[0] is not None and waits[1] is not None
+        assert waits[2] is None
+        assert waits[1] > waits[0] / 2  # exponential-ish growth
+        assert elapsed >= waits[0] + waits[1]
+
+    def test_isolated_records_backoff_per_attempt(self):
+        results = sweep(
+            always_fails, [(1,), (2,)], retries=1, backoff=0.02,
+            timeout=10.0, failures="collect", seed=7, jobs=2,
+        )
+        for failure in results:
+            assert isinstance(failure, FailedRun)
+            waits = [h.get("backoff_s") for h in failure.history]
+            assert waits[0] is not None and waits[0] > 0
+            assert waits[1] is None
+
+    def test_backoff_schedule_reproducible_across_paths(self):
+        """The inline and process-isolated runners must draw identical
+        per-attempt delays for the same (seed, index, attempt)."""
+        inline = sweep(
+            always_fails, [(1,)], retries=1, backoff=0.02,
+            failures="collect", seed=11,
+        )[0]
+        isolated = sweep(
+            always_fails, [(1,)], retries=1, backoff=0.02, timeout=10.0,
+            failures="collect", seed=11,
+        )[0]
+        assert (
+            inline.history[0]["backoff_s"]
+            == isolated.history[0]["backoff_s"]
+        )
+
+    def test_zero_backoff_leaves_history_untouched(self):
+        (failure,) = sweep(
+            always_fails, [(1,)], retries=1, failures="collect", seed=7,
+        )
+        assert all("backoff_s" not in h for h in failure.history)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep(always_fails, [(1,)], backoff=-1.0, failures="collect")
+        with pytest.raises(ConfigurationError):
+            sweep(always_fails, [(1,)], backoff_cap=0.0, failures="collect")

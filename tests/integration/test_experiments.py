@@ -107,7 +107,7 @@ class TestExperimentFunctions:
 
     def test_registry_complete(self):
         assert sorted(EXPERIMENTS) == sorted(
-            f"e{i}" for i in range(1, 14)
+            f"e{i}" for i in range(1, 15)
         )
 
 

@@ -1,0 +1,83 @@
+"""Tests for the watermark admission policy and its shedding curve."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.qos import WatermarkPolicy
+
+
+def make_policy(seed=7, low=0.5, high=0.9):
+    return WatermarkPolicy(low, high, rng=random.Random(seed))
+
+
+class TestCurve:
+    def test_zones(self):
+        p = make_policy()
+        assert p.zone(0.0) == "admit"
+        assert p.zone(0.499) == "admit"
+        assert p.zone(0.5) == "shed"  # low watermark itself sheds
+        assert p.zone(0.899) == "shed"
+        assert p.zone(0.9) == "reject"
+        assert p.zone(2.0) == "reject"
+
+    def test_shed_probability_linear_ramp(self):
+        p = make_policy(low=0.5, high=0.9)
+        assert p.shed_probability(0.3) == 0.0
+        assert p.shed_probability(0.5) == 0.0
+        assert p.shed_probability(0.7) == pytest.approx(0.5)
+        assert p.shed_probability(0.9) == 1.0
+        assert p.shed_probability(1.5) == 1.0
+
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ConfigurationError):
+            WatermarkPolicy(0.9, 0.5)
+        with pytest.raises(ConfigurationError):
+            WatermarkPolicy(-0.1, 0.5)
+        with pytest.raises(ConfigurationError):
+            WatermarkPolicy(0.5, 0.5)
+
+
+class TestDecide:
+    def test_admit_and_reject_consume_no_draw(self):
+        """Only the shed band draws from the RNG, so decisions outside
+        it cannot perturb the seeded stream."""
+        p = make_policy(seed=3)
+        state = p.rng.getstate()
+        a = p.decide(0.1)
+        r = p.decide(0.95)
+        assert a.accepted and a.draw is None
+        assert not r.accepted and r.draw is None
+        assert p.rng.getstate() == state
+
+    def test_shed_zone_draws_once(self):
+        p = make_policy(seed=3)
+        d = p.decide(0.7)
+        assert d.zone == "shed"
+        assert d.draw is not None
+        assert d.shed_probability == pytest.approx(0.5)
+        # Accepted iff the draw cleared the ramp.
+        assert d.accepted == (d.draw >= d.shed_probability)
+
+    def test_seeded_decisions_reproduce(self):
+        loads = [0.1, 0.6, 0.7, 0.8, 0.85, 0.95, 0.55] * 10
+        p1 = make_policy(seed=11)
+        seq1 = [p1.decide(x).accepted for x in loads]
+        p2 = make_policy(seed=11)
+        seq2 = [p2.decide(x).accepted for x in loads]
+        assert seq1 == seq2
+        assert (p1.admitted, p1.shed, p1.rejected) == (
+            p2.admitted, p2.shed, p2.rejected
+        )
+
+    def test_counters(self):
+        p = make_policy(seed=5)
+        p.decide(0.1)
+        p.decide(0.95)
+        shed_zone = [p.decide(0.7) for _ in range(50)]
+        assert p.admitted + p.shed + p.rejected == 52
+        assert p.rejected == 1
+        assert p.shed == sum(1 for d in shed_zone if not d.accepted)
+        # At p=0.5 over 50 draws both outcomes should appear.
+        assert 0 < p.shed < 50
