@@ -75,6 +75,7 @@ __all__ = [
     "e12_admission_quotes",
     "e13_churn_resilience",
     "e14_overload_control",
+    "e15_shard_scaling",
 ]
 
 
@@ -1836,6 +1837,133 @@ def e14_overload_control(
 
 
 # ---------------------------------------------------------------------------
+# E15 — [ext] sharded engine: digest equivalence + scaling
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class E15Params:
+    #: Generated multi-hop topology: "fat_tree" or "dumbbell2".
+    topology: str = "fat_tree"
+    k: int = 4
+    flows_per_host: int = 1
+    groups: int = 8
+    hosts_per_group: int = 2
+    #: Shard counts to run; 1 is the single-process reference every other
+    #: count's digest is asserted against.
+    shards: Tuple[int, ...] = (1, 2, 4)
+    engines: Tuple[str, ...] = ("heap",)
+    duration: float = 0.3
+    scheduler: str = "srr"
+    #: Fail the run on any digest divergence (the point of the exercise).
+    check_digests: bool = True
+
+
+def _e15_body(p: E15Params, ctx: RunContext) -> Dict:
+    """Sharded conservative-lookahead engine: equivalence + scaling (E15).
+
+    For each event-queue engine, runs the generated topology at every
+    shard count and asserts the per-flow delivery digests are
+    bit-identical to the 1-shard reference — then reports wall-clock
+    speedup, boundary-packet traffic and the null-message ratio. The
+    shard workers are processes run_sharded spawns itself, so points run
+    serially here rather than through ``ctx.sweep`` (no pool-in-pool).
+    """
+    from ..net.scenario import dumbbell_of_dumbbells, fat_tree
+    from ..shard.engine import run_sharded
+
+    if p.topology == "fat_tree":
+        spec = fat_tree(
+            k=p.k, scheduler=p.scheduler,
+            flows_per_host=p.flows_per_host,
+        )
+    elif p.topology == "dumbbell2":
+        spec = dumbbell_of_dumbbells(
+            groups=p.groups, hosts_per_group=p.hosts_per_group,
+            scheduler=p.scheduler,
+        )
+    else:
+        raise ValueError(
+            f"topology must be 'fat_tree' or 'dumbbell2', got {p.topology!r}"
+        )
+    seed = ctx.child_seed(0)
+    records: List[Dict] = []
+    mismatches = 0
+    for engine in p.engines:
+        reference: Optional[str] = None
+        base_wall: Optional[float] = None
+        for shards in p.shards:
+            result = run_sharded(
+                spec, until=p.duration, shards=shards, engine=engine,
+                seed=seed,
+            )
+            if reference is None:
+                reference = result.digest
+                base_wall = result.wall_time_s
+            match = result.digest == reference
+            if not match:
+                mismatches += 1
+            records.append({
+                "topology": spec.name,
+                "engine": engine,
+                "shards": shards,
+                "events": result.events,
+                "delivered": result.delivered_packets,
+                "windows": result.windows,
+                "boundary": result.boundary_packets,
+                "null_pct": round(100.0 * result.null_ratio, 1),
+                "wall_s": round(result.wall_time_s, 4),
+                "speedup": round(base_wall / result.wall_time_s, 2),
+                "events_per_s": int(result.events / result.wall_time_s),
+                "digest": result.digest[:16],
+                "digest_ok": match,
+            })
+    ctx.add_points(records)
+    ctx.table(
+        ["engine", "shards", "events", "windows", "boundary", "null %",
+         "wall s", "speedup", "events/s", "digest ok"],
+        records=records,
+        columns=["engine", "shards", "events", "windows", "boundary",
+                 "null_pct", "wall_s", "speedup", "events_per_s",
+                 "digest_ok"],
+        title=f"E15: sharded engine on {spec.name} — digest equivalence "
+              "and scaling vs the 1-shard reference",
+    )
+    if p.check_digests and mismatches:
+        raise AssertionError(
+            f"{mismatches} sharded run(s) diverged from the 1-shard digest"
+        )
+    return {
+        "topology": spec.name,
+        "digests_ok": mismatches == 0,
+        "events": max(r["events"] for r in records),
+        "best_speedup": max(r["speedup"] for r in records),
+        "best_shards": max(
+            records, key=lambda r: r["speedup"]
+        )["shards"],
+    }
+
+
+def e15_shard_scaling(
+    topology: str = None,
+    *,
+    shards: Sequence[int] = None,
+    engines: Sequence[str] = None,
+    duration: float = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Sharded-engine digest equivalence and speedup (E15)."""
+    return _metrics(
+        "e15",
+        {"topology": topology,
+         "shards": None if shards is None else tuple(shards),
+         "engines": None if engines is None else tuple(engines),
+         "duration": duration},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
+
+
+# ---------------------------------------------------------------------------
 # The declarative experiment registry
 # ---------------------------------------------------------------------------
 
@@ -1970,6 +2098,30 @@ SPECS: Dict[str, ExperimentSpec] = {
                 "duration": 8.0,
                 "schedulers": ("srr", "drr"),
                 "adapt_weights": True,
+            },
+        },
+    ),
+    "e15": ExperimentSpec(
+        eid="e15",
+        title="[ext] sharded engine: digest equivalence + scaling",
+        params_type=E15Params,
+        body=_e15_body,
+        scales={
+            "quick": {
+                "topology": "dumbbell2", "groups": 4,
+                "shards": (1, 2), "duration": 0.15,
+            },
+            # The headline config: a k=8 fat-tree (128 hosts, 512 flows)
+            # driven long enough to cross 10^8 packet events per run
+            # (~711k events per simulated second at steady state x 160
+            # s), heap and calendar both checked. Expect long wall times
+            # on one core; the point is the scaling curve on many.
+            "full": {
+                "k": 8,
+                "flows_per_host": 4,
+                "shards": (1, 2, 4, 8),
+                "engines": ("heap", "calendar"),
+                "duration": 160.0,
             },
         },
     ),

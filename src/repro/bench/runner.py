@@ -43,6 +43,7 @@ EXPERIMENTS: Dict[str, Callable[..., Dict]] = {
     "e12": experiments.e12_admission_quotes,
     "e13": experiments.e13_churn_resilience,
     "e14": experiments.e14_overload_control,
+    "e15": experiments.e15_shard_scaling,
 }
 
 _DESCRIPTIONS = {eid: spec.title for eid, spec in SPECS.items()}
@@ -223,6 +224,12 @@ def main(argv: List[str] = None) -> int:
              "probabilistically (e14 default 0.90)",
     )
     parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="simulation shard count for experiments that support it "
+             "(e15): runs the topology on N shard processes plus the "
+             "1-shard reference the digest is checked against",
+    )
+    parser.add_argument(
         "--core", choices=("object", "fast"), default=None,
         help="scheduler core for experiments that support it: 'fast' "
              "swaps in the flat twins (srr -> srr:fast) and profiles "
@@ -310,6 +317,20 @@ def main(argv: List[str] = None) -> int:
         if unsupported and args.experiment != "all":
             raise ConfigurationError(
                 f"--core is not supported by {', '.join(unsupported)}"
+            )
+    if args.shards is not None:
+        overrides = dict(overrides)
+        # Always include the 1-shard reference: the digest check and the
+        # speedup column are both relative to it.
+        overrides["shards"] = (
+            (1,) if args.shards <= 1 else (1, args.shards)
+        )
+        unsupported = [
+            n for n in names if "shards" not in SPECS[n].param_names()
+        ]
+        if unsupported and args.experiment != "all":
+            raise ConfigurationError(
+                f"--shards is not supported by {', '.join(unsupported)}"
             )
     # Observability plumbing: both are env-var activated so sweep pool
     # workers (fresh processes) pick them up on their own.

@@ -25,6 +25,13 @@ from ..core.errors import ConfigurationError, DuplicateFlowError
 from ..core.interfaces import PacketScheduler
 from ..core.packet import Packet
 from ..schedulers.registry import create_scheduler
+from ..shard.topology import (
+    FlowDecl,
+    LinkSpec,
+    NodeSpec,
+    SourceDecl,
+    TopologySpec,
+)
 from .engine import Simulator
 from .link import Link
 from .node import Node
@@ -34,7 +41,12 @@ from .shaping import TokenBucketShaper
 from .sinks import SinkRegistry
 from .sources import TrafficSource
 
-__all__ = ["FlowSpec", "Network"]
+__all__ = [
+    "FlowSpec",
+    "Network",
+    "dumbbell_of_dumbbells",
+    "fat_tree",
+]
 
 SchedulerSpec = Tuple[str, Dict]
 
@@ -206,8 +218,7 @@ class Network:
         ports: List[OutputPort] = []
         extra = flow_kwargs or {}
         try:
-            for here, nxt in zip(path, path[1:]):
-                port = self.nodes[here].ports[nxt]
+            for port in self._flow_hop_ports(path):
                 port_weight = weight
                 if weight == 0 and not port.scheduler.supports_zero_weight:
                     # Best-effort class: schedulers without an explicit f0
@@ -238,6 +249,18 @@ class Network:
         self.flows[flow_id] = spec
         self._seq[flow_id] = 0
         return spec
+
+    def _flow_hop_ports(self, path: List[str]) -> List[OutputPort]:
+        """The output ports a flow on ``path`` registers at — every hop.
+
+        The sharded builder (:class:`repro.shard.build.ShardNetwork`)
+        overrides this to the hops whose transmitting node it owns, so
+        ``add_flow`` keeps one copy of the install/rollback semantics.
+        """
+        return [
+            self.nodes[here].ports[nxt]
+            for here, nxt in zip(path, path[1:])
+        ]
 
     def remove_flow(self, flow_id: Hashable) -> None:
         """Tear a flow's state out of every port on its path.
@@ -338,3 +361,218 @@ class Network:
             f"Network(nodes={len(self.nodes)}, flows={len(self.flows)}, "
             f"t={self.sim.now:.3f}s)"
         )
+
+
+# ---------------------------------------------------------------------------
+# Multi-hop topology generators (TopologySpec producers)
+# ---------------------------------------------------------------------------
+#
+# These return pure-data TopologySpec values (repro.shard.topology), not
+# live Networks: the same spec drives the single-process reference build
+# and every shard worker's slice (repro.shard.build), which is what makes
+# the sharded-vs-single digest equivalence well-defined. Group labels
+# follow the "router group" partition unit: everything hanging off one
+# router pair (or one fat-tree pod) shares a group, so intra-group links
+# never cross a shard boundary.
+#
+# Tie hygiene: bit-identical sharding needs cross-boundary event-time
+# *ties* to be absent (see docs/sharding.md#determinism) — two packets
+# from different shards landing on one port at the same instant would be
+# ordered by engine seq, which sharding re-allocates. Both generators
+# therefore stagger per-flow CBR rates and start offsets by flow index,
+# so no two flows share an emission grid.
+
+
+def _cbr_decl(
+    flow_id: str, flow_index: int, rate_bps: float, packet_size: int
+) -> SourceDecl:
+    """A CBR source whose rate and start offset are unique per flow.
+
+    Pairwise-distinct rates (linear in the flow index) plus staggered
+    starts keep any two flows' emission instants from coinciding — the
+    tie-freedom the sharded engine's bit-identical digests rest on. The
+    increment is small enough that even a 512-flow fat-tree stays inside
+    aggregate capacity (max multiplier ~1.7x at index 511).
+    """
+    rate = rate_bps * (1.0 + 0.00131 * flow_index)
+    start = 0.00173 * (flow_index + 1)
+    return SourceDecl(
+        flow_id=flow_id,
+        kind="cbr",
+        params=(
+            ("rate_bps", rate),
+            ("packet_size", packet_size),
+            ("start_at", start),
+        ),
+    )
+
+
+def dumbbell_of_dumbbells(
+    groups: int = 2,
+    hosts_per_group: int = 2,
+    *,
+    scheduler: str = "srr",
+    access_bps: float = 20e6,
+    bottleneck_bps: float = 2e6,
+    trunk_bps: float = 10e6,
+    local_delay: float = 0.0003,
+    bottleneck_delay: float = 0.001,
+    trunk_delay: float = 0.004,
+    rate_bps: float = 96_000.0,
+    packet_size: int = 200,
+) -> TopologySpec:
+    """A chain of dumbbells: one classic dumbbell per router group.
+
+    Group ``g`` is hosts ``g{g}h*`` -> router ``g{g}L`` -> bottleneck ->
+    router ``g{g}R`` -> sinks ``g{g}d*``; trunk links ``g{g}R -- g{g+1}L``
+    chain the groups. Trunks carry slightly distinct delays (the minimum,
+    ``trunk_delay``, is the lookahead window) so boundary-latency
+    diversity is exercised. Each host drives one intra-group flow and one
+    flow into the next group (the last group's wraps back across the
+    whole chain).
+    """
+    if groups < 1 or hosts_per_group < 1:
+        raise ConfigurationError(
+            "need at least one group and one host per group"
+        )
+    nodes: List[NodeSpec] = []
+    links: List[LinkSpec] = []
+    flows: List[FlowDecl] = []
+    sources: List[SourceDecl] = []
+    for g in range(groups):
+        nodes.append(NodeSpec(f"g{g}L", group=g))
+        nodes.append(NodeSpec(f"g{g}R", group=g))
+        links.append(LinkSpec(
+            f"g{g}L", f"g{g}R", rate_bps=bottleneck_bps,
+            delay=bottleneck_delay,
+        ))
+        for i in range(hosts_per_group):
+            nodes.append(NodeSpec(f"g{g}h{i}", group=g))
+            nodes.append(NodeSpec(f"g{g}d{i}", group=g))
+            links.append(LinkSpec(
+                f"g{g}h{i}", f"g{g}L", rate_bps=access_bps,
+                delay=local_delay,
+            ))
+            links.append(LinkSpec(
+                f"g{g}R", f"g{g}d{i}", rate_bps=access_bps,
+                delay=local_delay,
+            ))
+    for g in range(groups - 1):
+        links.append(LinkSpec(
+            f"g{g}R", f"g{g + 1}L", rate_bps=trunk_bps,
+            delay=trunk_delay * (1.0 + g / 8.0),
+        ))
+    index = 0
+    for g in range(groups):
+        for i in range(hosts_per_group):
+            local = FlowDecl(
+                f"fg{g}l{i}", f"g{g}h{i}", f"g{g}d{i}", weight=i + 1
+            )
+            flows.append(local)
+            sources.append(
+                _cbr_decl(local.flow_id, index, rate_bps, packet_size)
+            )
+            index += 1
+            if groups > 1:
+                cross = FlowDecl(
+                    f"fg{g}x{i}", f"g{g}h{i}",
+                    f"g{(g + 1) % groups}d{i}", weight=i + 1,
+                )
+                flows.append(cross)
+                sources.append(
+                    _cbr_decl(cross.flow_id, index, rate_bps, packet_size)
+                )
+                index += 1
+    return TopologySpec(
+        name=f"dumbbell2[g{groups}xh{hosts_per_group}]",
+        nodes=tuple(nodes),
+        links=tuple(links),
+        flows=tuple(flows),
+        sources=tuple(sources),
+        default_scheduler=scheduler,
+    )
+
+
+def fat_tree(
+    k: int = 4,
+    *,
+    scheduler: str = "srr",
+    host_bps: float = 40e6,
+    edge_bps: float = 40e6,
+    core_bps: float = 20e6,
+    host_delay: float = 0.0002,
+    agg_delay: float = 0.0005,
+    core_delay: float = 0.002,
+    rate_bps: float = 128_000.0,
+    packet_size: int = 200,
+    flows_per_host: int = 1,
+) -> TopologySpec:
+    """A k-ary fat-tree: k pods of (k/2 edge + k/2 agg) switches,
+    (k/2)^2 cores, k^3/4 hosts.
+
+    Pod ``p`` is router group ``p``; core ``x`` joins group ``x % k``
+    (round-robin), so at ``--shards k`` every pod is a shard and the only
+    boundary links are agg<->core — all at ``core_delay``, which is
+    therefore the lookahead window. Every host sends ``flows_per_host``
+    flows to its positional mirror in the following pods.
+    """
+    if k < 2 or k % 2:
+        raise ConfigurationError(f"fat-tree arity must be even >= 2, got {k}")
+    if not 1 <= flows_per_host <= k - 1:
+        raise ConfigurationError(
+            f"flows_per_host must be in 1..{k - 1}, got {flows_per_host}"
+        )
+    half = k // 2
+    nodes: List[NodeSpec] = []
+    links: List[LinkSpec] = []
+    for p in range(k):
+        for j in range(half):
+            nodes.append(NodeSpec(f"p{p}e{j}", group=p))
+            nodes.append(NodeSpec(f"p{p}a{j}", group=p))
+            for m in range(half):
+                nodes.append(NodeSpec(f"p{p}e{j}h{m}", group=p))
+    for x in range(half * half):
+        nodes.append(NodeSpec(f"c{x}", group=x % k))
+    for p in range(k):
+        for j in range(half):
+            for m in range(half):
+                links.append(LinkSpec(
+                    f"p{p}e{j}h{m}", f"p{p}e{j}", rate_bps=host_bps,
+                    delay=host_delay,
+                ))
+            for jj in range(half):
+                links.append(LinkSpec(
+                    f"p{p}e{j}", f"p{p}a{jj}", rate_bps=edge_bps,
+                    delay=agg_delay,
+                ))
+            for r in range(half):
+                links.append(LinkSpec(
+                    f"p{p}a{j}", f"c{j * half + r}", rate_bps=core_bps,
+                    delay=core_delay,
+                ))
+    flows: List[FlowDecl] = []
+    sources: List[SourceDecl] = []
+    index = 0
+    for p in range(k):
+        for j in range(half):
+            for m in range(half):
+                for f in range(flows_per_host):
+                    q = (p + 1 + f) % k
+                    flow = FlowDecl(
+                        f"f_p{p}e{j}h{m}_q{q}",
+                        f"p{p}e{j}h{m}", f"p{q}e{j}h{m}",
+                        weight=1 + (j + m) % 3,
+                    )
+                    flows.append(flow)
+                    sources.append(_cbr_decl(
+                        flow.flow_id, index, rate_bps, packet_size
+                    ))
+                    index += 1
+    return TopologySpec(
+        name=f"fat_tree[k{k}]",
+        nodes=tuple(nodes),
+        links=tuple(links),
+        flows=tuple(flows),
+        sources=tuple(sources),
+        default_scheduler=scheduler,
+    )

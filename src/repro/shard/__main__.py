@@ -1,0 +1,138 @@
+"""CLI for the sharded engine: run a generated topology, print the digest.
+
+The CI digest-equivalence job drives this: two invocations differing only
+in ``--shards`` must print the same ``digest`` field. ``--json`` emits
+the machine-readable summary (single line) for that comparison.
+
+Examples::
+
+    python -m repro.shard --topology dumbbell2 --groups 4 --shards 4 \
+        --until 0.5
+    python -m repro.shard --topology fat_tree --k 4 --shards 1 \
+        --engine calendar --until 0.2 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..core.errors import ReproError
+from ..net.scenario import dumbbell_of_dumbbells, fat_tree
+from .engine import DEFAULT_BARRIER_TIMEOUT_S, run_sharded
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.shard",
+        description="Run a multi-hop topology on N simulation shards.",
+    )
+    parser.add_argument(
+        "--topology", choices=("dumbbell2", "fat_tree"),
+        default="dumbbell2",
+        help="generator: dumbbell-of-dumbbells or k-ary fat-tree",
+    )
+    parser.add_argument(
+        "--groups", type=int, default=4,
+        help="dumbbell2: number of chained dumbbell groups",
+    )
+    parser.add_argument(
+        "--hosts", type=int, default=2,
+        help="dumbbell2: hosts per group",
+    )
+    parser.add_argument(
+        "--k", type=int, default=4, help="fat_tree: arity (even, >= 2)"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="simulation processes (1 = single-process reference)",
+    )
+    parser.add_argument(
+        "--until", type=float, default=0.5, help="simulated seconds"
+    )
+    parser.add_argument(
+        "--engine", choices=("heap", "calendar"), default=None,
+        help="event-queue backend (default: REPRO_ENGINE or heap)",
+    )
+    parser.add_argument(
+        "--scheduler", default="srr",
+        help="per-port scheduler (default srr)",
+    )
+    parser.add_argument(
+        "--window", type=float, default=None,
+        help="advance step in seconds (default: the computed lookahead)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=DEFAULT_BARRIER_TIMEOUT_S,
+        help="per-barrier hang timeout in seconds (0 disables)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="root seed for per-shard child seeds",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the summary as one JSON line",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.topology == "dumbbell2":
+            spec = dumbbell_of_dumbbells(
+                groups=args.groups, hosts_per_group=args.hosts,
+                scheduler=args.scheduler,
+            )
+        else:
+            spec = fat_tree(k=args.k, scheduler=args.scheduler)
+        result = run_sharded(
+            spec,
+            until=args.until,
+            shards=args.shards,
+            engine=args.engine,
+            window=args.window,
+            barrier_timeout=args.timeout or None,
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(result.summary(), sort_keys=True))
+        return 0
+    summary = result.summary()
+    print(f"topology   {summary['spec']}  (signature {summary['spec_signature'][:12]})")
+    print(f"shards     {result.n_shards}   engine {args.engine or 'default'}")
+    print(
+        f"simulated  {result.until:g}s in {result.windows} window(s), "
+        f"lookahead {summary['lookahead'] or 'n/a'}"
+    )
+    print(
+        f"delivered  {result.delivered_packets} packets / "
+        f"{result.delivered_bytes} bytes over {len(result.flows)} flows"
+    )
+    print(
+        f"events     {result.events}   boundary {result.boundary_packets}"
+        f"   null-ratio {result.null_ratio:.2%}"
+        f"   dropped-in-flight {result.in_flight_dropped}"
+    )
+    print(f"wall       {result.wall_time_s:.3f}s")
+    print(f"digest     {result.digest}")
+    if result.n_shards > 1:
+        print("per-shard:")
+        for stats in sorted(result.shard_stats, key=lambda s: s["shard"]):
+            print(
+                f"  s{stats['shard']}: events={stats['events']} "
+                f"tx={stats['boundary_tx']} rx={stats['boundary_rx']} "
+                f"null={stats['null_windows']}/{stats['windows']} "
+                f"backlog={stats['backlog']}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

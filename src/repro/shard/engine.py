@@ -1,0 +1,605 @@
+"""The sharded run: barrier-synchronised conservative-lookahead windows.
+
+Protocol (classic conservative PDES, specialised to a star of pipes):
+
+1. The coordinator partitions the spec (:mod:`repro.shard.partition`)
+   and spawns one worker process per shard; each builds its
+   :class:`~repro.shard.build.ShardNetwork` slice.
+2. Time advances in windows of the lookahead ``L`` (the minimum
+   boundary-link delay). For window ``k`` the coordinator sends every
+   worker ``("advance", horizon=(k+1)L, ...)`` together with the
+   cross-shard arrivals banked at the previous barrier; the worker
+   injects the arrivals, runs its simulator over the half-open window
+   ``[kL, (k+1)L)`` (``Simulator.run(horizon, inclusive=False)``), and
+   replies with the departures its boundary ports banked. A window with
+   no payload in either direction is this protocol's *null message* —
+   pure synchronisation — and is counted as such.
+3. Conservativeness: a packet finishing transmission at ``t`` in window
+   ``k`` arrives at ``t + delay >= kL + L = (k+1)L`` — never inside any
+   window already executed, so no shard ever sees a straggler. The final
+   window runs inclusive at ``until`` (matching ``Network.run``), then
+   flush rounds deliver cross-shard arrivals landing at exactly
+   ``until``.
+
+Determinism: cross-shard arrivals are injected at the barrier, sorted by
+``(depart_time, origin_shard, egress_seq)``, *before* the window runs —
+so they take engine sequence numbers below anything the window itself
+schedules, mirroring the single-process run where those propagation
+events were scheduled one window earlier. See
+``docs/sharding.md#determinism`` for the tie rules this rests on.
+
+Failure containment: a worker that dies (pipe EOF) or hangs past the
+barrier timeout surfaces as a structured :class:`ShardError` — shard id,
+horizon, window, pending boundary packets — and every other worker is
+reaped, never deadlocking the barrier. Workers conversely exit on pipe
+EOF, so a coordinator killed by the sweep reaper (the PR 3 timeout
+path) cannot orphan its shard children.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import Pipe, Process, connection
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError, ReproError
+from ..harness.sweep import child_seed
+from ..net.eventq import ENGINE_ENV_VAR
+from ..obs.flight import FLIGHT_ENV_VAR
+from ..obs.telemetry import TELEMETRY_ENV_VAR, get_telemetry
+from .build import BoundaryRecord, build_network, build_shard_network
+from .digest import delivery_digest, delivery_streams
+from .partition import ShardPlan, partition_topology
+from .topology import TopologySpec
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "DEFAULT_BARRIER_TIMEOUT_S",
+    "ShardError",
+    "ShardRunResult",
+    "run_sharded",
+]
+
+#: Fault injection for the hardening tests: ``"<shard>:<window>:<mode>"``
+#: with mode ``die`` (hard exit mid-window) or ``hang`` (sleep past any
+#: barrier timeout). Read by each worker from its own environment.
+CHAOS_ENV_VAR = "REPRO_SHARD_CHAOS"
+
+#: Per-barrier default patience before a silent shard is declared hung.
+DEFAULT_BARRIER_TIMEOUT_S = 120.0
+
+#: Environment threaded to every shard worker, exactly the set sweep()
+#: pool workers inherit: engine backend, flight-recorder arming, and the
+#: telemetry sink (workers append to the same JSONL file, line-atomic).
+_WORKER_ENV_VARS = (ENGINE_ENV_VAR, FLIGHT_ENV_VAR, TELEMETRY_ENV_VAR)
+
+
+class ShardError(ReproError):
+    """A shard failed mid-run; structured for the failures="collect" path."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: Optional[int] = None,
+        horizon: Optional[float] = None,
+        window: Optional[int] = None,
+        pending_boundary: int = 0,
+        reason: str = "failed",
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.horizon = horizon
+        self.window = window
+        self.pending_boundary = pending_boundary
+        self.reason = reason
+
+
+def _shard_error(
+    *,
+    shard_id: int,
+    horizon: float,
+    window: int,
+    pending_boundary: int,
+    reason: str,
+    detail: str = "",
+) -> ShardError:
+    message = (
+        f"shard {shard_id} {reason} at window {window} "
+        f"(horizon {horizon:g}s, {pending_boundary} boundary packet(s) "
+        f"pending for it)"
+    )
+    if detail:
+        message += f": {detail}"
+    return ShardError(
+        message, shard_id=shard_id, horizon=horizon, window=window,
+        pending_boundary=pending_boundary, reason=reason,
+    )
+
+
+@dataclass
+class ShardRunResult:
+    """Everything a sharded (or 1-shard reference) run produced."""
+
+    spec_name: str
+    spec_signature: str
+    n_shards: int
+    until: float
+    lookahead: float
+    windows: int
+    digest: str
+    #: flow id -> ordered (seq, size, created_at, delivered_at) stream.
+    flows: Dict[Hashable, List[Tuple[int, int, float, float]]]
+    delivered_packets: int
+    delivered_bytes: int
+    events: int
+    boundary_packets: int
+    null_windows: int
+    in_flight_dropped: int
+    wall_time_s: float
+    shard_stats: List[Dict[str, Any]] = field(default_factory=list)
+    child_seeds: List[int] = field(default_factory=list)
+
+    @property
+    def null_ratio(self) -> float:
+        """Fraction of (shard, window) advances that moved no payload."""
+        total = self.windows * self.n_shards
+        return self.null_windows / total if total else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """The artifact-friendly scalar view (no per-packet streams)."""
+        return {
+            "spec": self.spec_name,
+            "spec_signature": self.spec_signature,
+            "n_shards": self.n_shards,
+            "until": self.until,
+            "lookahead": (
+                None if self.lookahead == float("inf") else self.lookahead
+            ),
+            "windows": self.windows,
+            "digest": self.digest,
+            "delivered_packets": self.delivered_packets,
+            "delivered_bytes": self.delivered_bytes,
+            "events": self.events,
+            "boundary_packets": self.boundary_packets,
+            "null_ratio": round(self.null_ratio, 4),
+            "in_flight_dropped": self.in_flight_dropped,
+            "wall_time_s": self.wall_time_s,
+            "child_seeds": list(self.child_seeds),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _snapshot_env() -> Dict[str, Optional[str]]:
+    return {var: os.environ.get(var) for var in _WORKER_ENV_VARS}
+
+
+def _apply_env(env: Dict[str, Optional[str]]) -> None:
+    for var, value in env.items():
+        if value is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = value
+
+
+def _parse_chaos(shard_id: int) -> Optional[Tuple[int, str]]:
+    """(window, mode) when this shard is the chaos target, else None."""
+    raw = os.environ.get(CHAOS_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        shard_s, window_s, mode = raw.split(":")
+        if int(shard_s) != shard_id:
+            return None
+        if mode not in ("die", "hang"):
+            raise ValueError(mode)
+        return int(window_s), mode
+    except ValueError:
+        raise ConfigurationError(
+            f"{CHAOS_ENV_VAR}={raw!r} is not '<shard>:<window>:die|hang'"
+        ) from None
+
+
+def _shard_worker(
+    conn,
+    plan: ShardPlan,
+    shard_id: int,
+    engine: Optional[str],
+    env: Dict[str, Optional[str]],
+    seed: Optional[int],
+) -> None:
+    """One shard's process: build the slice, then serve barrier messages."""
+    try:
+        _apply_env(env)
+        tele = get_telemetry()
+        chaos = _parse_chaos(shard_id)
+        net = build_shard_network(plan, shard_id, engine=engine)
+        sim = net.sim
+        windows = 0
+        null_windows = 0
+        boundary_tx = 0
+        boundary_rx = 0
+        last_horizon: Optional[float] = None
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                # The coordinator is gone (crashed, or reaped by the
+                # sweep timeout path): exit instead of lingering as an
+                # orphan blocked on a dead pipe.
+                return
+            op = msg[0]
+            if op == "advance":
+                _, horizon, inclusive, arrivals = msg
+                last_horizon = horizon
+                if chaos is not None and chaos[0] == windows:
+                    if chaos[1] == "die":
+                        os._exit(3)
+                    time.sleep(3600.0)  # "hang": outlive any timeout
+                boundary_rx += net.inject_arrivals(arrivals)
+                sim.run(until=horizon, inclusive=inclusive)
+                outbound = net.drain_boundary()
+                boundary_tx += len(outbound)
+                windows += 1
+                if not arrivals and not outbound:
+                    null_windows += 1
+                stats = {
+                    "shard": shard_id,
+                    "window": windows - 1,
+                    "horizon": horizon,
+                    "events": sim.events_processed,
+                    "null_windows": null_windows,
+                    "boundary_tx": boundary_tx,
+                    "boundary_rx": boundary_rx,
+                }
+                if tele is not None:
+                    tele.heartbeat(
+                        kind="shard",
+                        sim_time=sim.now,
+                        boundary=boundary_tx + boundary_rx,
+                        windows=windows,
+                        **stats,
+                    )
+                conn.send(("window", shard_id, outbound, stats))
+            elif op == "collect":
+                payload = {
+                    "shard": shard_id,
+                    "seed": seed,
+                    "flows": delivery_streams(net),
+                    "events": sim.events_processed,
+                    "engine": net.engine_stats(),
+                    "delivered_packets": net.sinks.total_packets,
+                    "delivered_bytes": net.sinks.total_bytes,
+                    "windows": windows,
+                    "null_windows": null_windows,
+                    "boundary_tx": boundary_tx,
+                    "boundary_rx": boundary_rx,
+                    "backlog": net.total_backlog(),
+                    "next_event_time": sim.next_event_time(),
+                }
+                if tele is not None:
+                    tele.frame(
+                        "shard_end",
+                        shard=shard_id,
+                        window=windows - 1,
+                        horizon=last_horizon,
+                        events=sim.events_processed,
+                        sim_time=sim.now,
+                        windows=windows,
+                        null_windows=null_windows,
+                        boundary=boundary_tx + boundary_rx,
+                    )
+                conn.send(("result", shard_id, payload))
+            elif op == "stop":
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ConfigurationError(f"unknown shard op {op!r}")
+    except Exception:
+        try:
+            conn.send(("error", shard_id, traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+def _single_process(
+    spec: TopologySpec,
+    *,
+    until: float,
+    engine: Optional[str],
+    seed: Optional[int],
+) -> ShardRunResult:
+    """The --shards 1 reference: one Network, one run() call."""
+    wall0 = time.perf_counter()
+    net = build_network(spec, engine=engine)
+    net.run(until=until)
+    flows = delivery_streams(net)
+    return ShardRunResult(
+        spec_name=spec.name,
+        spec_signature=spec.signature(),
+        n_shards=1,
+        until=until,
+        lookahead=float("inf"),
+        windows=1,
+        digest=delivery_digest(flows),
+        flows=flows,
+        delivered_packets=net.sinks.total_packets,
+        delivered_bytes=net.sinks.total_bytes,
+        events=net.sim.events_processed,
+        boundary_packets=0,
+        null_windows=0,
+        in_flight_dropped=0,
+        wall_time_s=time.perf_counter() - wall0,
+        shard_stats=[{
+            "shard": 0,
+            "seed": seed,
+            "events": net.sim.events_processed,
+            "engine": net.engine_stats(),
+            "backlog": net.total_backlog(),
+        }],
+        child_seeds=[] if seed is None else [child_seed(seed, 0)],
+    )
+
+
+class _Barrier:
+    """Coordinator-side gather with death/hang detection and reaping."""
+
+    def __init__(
+        self,
+        conns: List,
+        procs: List[Process],
+        timeout: Optional[float],
+    ) -> None:
+        self.conns = conns
+        self.procs = procs
+        self.timeout = timeout
+
+    def gather(
+        self,
+        expect: str,
+        *,
+        horizon: float,
+        window: int,
+        pending_for: List[int],
+    ) -> List[Tuple]:
+        """One reply per shard, or a ShardError naming the culprit."""
+        n = len(self.conns)
+        replies: List[Optional[Tuple]] = [None] * n
+        pending = set(range(n))
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        by_conn = {id(c): i for i, c in enumerate(self.conns)}
+        while pending:
+            remain = None
+            if deadline is not None:
+                remain = deadline - time.monotonic()
+                if remain <= 0:
+                    shard = min(pending)
+                    raise _shard_error(
+                        shard_id=shard, horizon=horizon, window=window,
+                        pending_boundary=pending_for[shard],
+                        reason="hung (barrier timeout "
+                               f"{self.timeout:g}s)",
+                    )
+            ready = connection.wait(
+                [self.conns[i] for i in pending], remain
+            )
+            for conn in ready:
+                i = by_conn[id(conn)]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # Reap first so exitcode is populated (EOF races the
+                    # OS-level process teardown).
+                    self.procs[i].join(timeout=1.0)
+                    code = self.procs[i].exitcode
+                    raise _shard_error(
+                        shard_id=i, horizon=horizon, window=window,
+                        pending_boundary=pending_for[i],
+                        reason="died",
+                        detail=f"exit code {code}",
+                    ) from None
+                if msg[0] == "error":
+                    raise _shard_error(
+                        shard_id=msg[1], horizon=horizon, window=window,
+                        pending_boundary=pending_for[msg[1]],
+                        reason="raised",
+                        detail=msg[2].strip().splitlines()[-1],
+                    )
+                if msg[0] != expect:  # pragma: no cover - protocol misuse
+                    raise ShardError(
+                        f"shard {i} sent {msg[0]!r}, expected {expect!r}"
+                    )
+                replies[i] = msg
+                pending.discard(i)
+        return replies  # type: ignore[return-value]
+
+
+def _send_to_worker(conn, msg: Tuple) -> None:
+    """Send, tolerating a broken pipe: a worker that died or errored out
+    closes its pipe end before the coordinator's next send, and the
+    *gather* that follows owns turning the buffered traceback (or the
+    EOF) into a structured :class:`ShardError` naming the culprit."""
+    try:
+        conn.send(msg)
+    except (BrokenPipeError, OSError):
+        pass
+
+
+def run_sharded(
+    spec: TopologySpec,
+    *,
+    until: float,
+    shards: int = 1,
+    engine: Optional[str] = None,
+    window: Optional[float] = None,
+    barrier_timeout: Optional[float] = DEFAULT_BARRIER_TIMEOUT_S,
+    seed: Optional[int] = None,
+) -> ShardRunResult:
+    """Run ``spec`` to ``until`` on ``shards`` processes.
+
+    ``window`` optionally narrows the advance step below the computed
+    lookahead (never above — that would be non-conservative). ``seed``
+    derives per-shard child seeds exactly as ``sweep()`` derives worker
+    seeds; today's shards are deterministic given the spec, so the seeds
+    are recorded plumbing, not behaviour. Results are bit-identical to
+    ``shards=1`` on tie-free topologies — the digest is the proof.
+    """
+    if until <= 0:
+        raise ConfigurationError(f"until must be positive, got {until}")
+    if shards == 1:
+        return _single_process(
+            spec, until=until, engine=engine, seed=seed,
+        )
+    plan = partition_topology(spec, shards)
+    lookahead = plan.lookahead
+    step = lookahead if window is None else window
+    if step <= 0 or step > lookahead:
+        raise ConfigurationError(
+            f"window {step:g} must be in (0, lookahead {lookahead:g}]"
+        )
+    wall0 = time.perf_counter()
+    env = _snapshot_env()
+    seeds = (
+        [] if seed is None
+        else [child_seed(seed, s) for s in range(shards)]
+    )
+    conns: List = []
+    procs: List[Process] = []
+    try:
+        for s in range(shards):
+            parent, child = Pipe()
+            proc = Process(
+                target=_shard_worker,
+                args=(
+                    child, plan, s, engine, env,
+                    seeds[s] if seeds else None,
+                ),
+                daemon=True,
+                name=f"repro-shard-{s}",
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+        barrier = _Barrier(conns, procs, barrier_timeout)
+        inbox: List[List[BoundaryRecord]] = [[] for _ in range(shards)]
+        boundary_packets = 0
+        null_windows = 0
+        in_flight_dropped = 0
+        windows = 0
+        k = 0
+        final_done = False
+        while True:
+            if not final_done:
+                horizon = min((k + 1) * step, until)
+                final = horizon >= until
+            else:
+                # Flush round: deliveries landing at exactly ``until``
+                # that the final window's departures produced.
+                horizon = until
+                final = True
+            outgoing, inbox = inbox, [[] for _ in range(shards)]
+            pending_counts = [len(box) for box in outgoing]
+            for s in range(shards):
+                _send_to_worker(
+                    conns[s], ("advance", horizon, final, outgoing[s])
+                )
+            replies = barrier.gather(
+                "window", horizon=horizon, window=windows,
+                pending_for=pending_counts,
+            )
+            windows += 1
+            k += 1
+            moved = False
+            for _, shard_id, outbound, stats in replies:
+                if not outbound and not outgoing[shard_id]:
+                    null_windows += 1
+                for record in outbound:
+                    arrival_time = record[1]
+                    if arrival_time > until:
+                        # In flight past the end of simulated time: the
+                        # single-process run never fires this propagation
+                        # event either.
+                        in_flight_dropped += 1
+                        continue
+                    inbox[record[0]].append(record)
+                    boundary_packets += 1
+                    moved = True
+            if final_done or final:
+                final_done = True
+                if not moved:
+                    break
+        for s in range(shards):
+            _send_to_worker(conns[s], ("collect",))
+        results = barrier.gather(
+            "result", horizon=until, window=windows,
+            pending_for=[0] * shards,
+        )
+        for s in range(shards):
+            _send_to_worker(conns[s], ("stop",))
+        flows: Dict[Hashable, List[Tuple[int, int, float, float]]] = {}
+        shard_stats: List[Dict[str, Any]] = []
+        events = 0
+        delivered_packets = 0
+        delivered_bytes = 0
+        for _, shard_id, payload in results:
+            for flow_id, stream in payload.pop("flows").items():
+                # Each flow terminates in exactly one shard, so this is
+                # an insert, not a merge.
+                flows.setdefault(flow_id, []).extend(stream)
+            events += payload["events"]
+            delivered_packets += payload["delivered_packets"]
+            delivered_bytes += payload["delivered_bytes"]
+            shard_stats.append(payload)
+        return ShardRunResult(
+            spec_name=spec.name,
+            spec_signature=spec.signature(),
+            n_shards=shards,
+            until=until,
+            lookahead=lookahead,
+            windows=windows,
+            digest=delivery_digest(flows),
+            flows=flows,
+            delivered_packets=delivered_packets,
+            delivered_bytes=delivered_bytes,
+            events=events,
+            boundary_packets=boundary_packets,
+            null_windows=null_windows,
+            in_flight_dropped=in_flight_dropped,
+            wall_time_s=time.perf_counter() - wall0,
+            shard_stats=shard_stats,
+            child_seeds=seeds,
+        )
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - terminate refused
+                proc.kill()
+                proc.join(timeout=5.0)

@@ -1,0 +1,163 @@
+"""Topology partitioner: router groups -> shards, plus the lookahead.
+
+The conservative-lookahead protocol (:mod:`repro.shard.engine`) is only
+correct if every cross-shard packet spends at least one lookahead window
+``L`` in flight: a packet transmitted during window ``[kL, (k+1)L)``
+then arrives at ``depart + delay >= kL + L = (k+1)L``, i.e. never before
+the barrier at which it is exchanged. That is exactly the condition
+``L <= min(delay of every boundary link direction)``, so the partitioner
+computes ``L`` as that minimum and refuses partitions with a zero-delay
+boundary edge (no positive window could be conservative).
+
+Placement is deliberately simple and deterministic: group ``g`` lands on
+shard ``g % n_shards`` (groups are the unit of placement — see
+:class:`~repro.shard.topology.NodeSpec`). Every edge therefore touches
+at most two shards ("crosses at most one boundary"), a property
+:func:`validate_plan` asserts structurally and the partition tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.errors import ConfigurationError
+from .topology import TopologySpec
+
+__all__ = ["BoundaryEdge", "ShardPlan", "partition_topology", "validate_plan"]
+
+
+@dataclass(frozen=True)
+class BoundaryEdge:
+    """One directed link direction whose endpoints live on different
+    shards; the transmitting shard owns the port, the receiving shard
+    gets the packet at the next barrier."""
+
+    src: str
+    dst: str
+    src_shard: int
+    dst_shard: int
+    delay: float
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete placement: who owns which node, and the safe window."""
+
+    spec: TopologySpec
+    n_shards: int
+    #: node name -> shard id.
+    shard_of: Dict[str, int]
+    #: Every directed cross-shard link direction.
+    boundary: Tuple[BoundaryEdge, ...]
+    #: The conservative window: min boundary delay (``inf`` when the
+    #: partition has no boundary, i.e. n_shards == 1).
+    lookahead: float
+
+    def nodes_of(self, shard_id: int) -> List[str]:
+        """Node names owned by ``shard_id``, in spec order."""
+        return [
+            n.name for n in self.spec.nodes
+            if self.shard_of[n.name] == shard_id
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan({self.spec.name!r}, shards={self.n_shards}, "
+            f"boundary_edges={len(self.boundary)}, "
+            f"lookahead={self.lookahead:g})"
+        )
+
+
+def partition_topology(spec: TopologySpec, n_shards: int) -> ShardPlan:
+    """Place router groups onto ``n_shards`` shards.
+
+    Raises :class:`~repro.core.errors.ConfigurationError` when the shard
+    count exceeds the group count (a shard with no nodes can never make
+    progress) or when a boundary edge has zero propagation delay (no
+    conservative window exists).
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    groups = spec.groups()
+    if n_shards > len(groups):
+        raise ConfigurationError(
+            f"cannot split {len(groups)} router group(s) of "
+            f"{spec.name!r} across {n_shards} shards; add groups or "
+            "lower --shards"
+        )
+    group_shard = {g: i % n_shards for i, g in enumerate(groups)}
+    shard_of = {n.name: group_shard[n.group] for n in spec.nodes}
+    boundary: List[BoundaryEdge] = []
+    for link in spec.links:
+        directions = [(link.a, link.b)]
+        if link.bidirectional:
+            directions.append((link.b, link.a))
+        for src, dst in directions:
+            s, d = shard_of[src], shard_of[dst]
+            if s == d:
+                continue
+            if link.delay <= 0.0:
+                raise ConfigurationError(
+                    f"boundary link {src!r}->{dst!r} has zero propagation "
+                    "delay: no conservative lookahead window exists; give "
+                    "inter-group links a positive delay or co-locate the "
+                    "groups"
+                )
+            boundary.append(BoundaryEdge(src, dst, s, d, link.delay))
+    lookahead = min((e.delay for e in boundary), default=math.inf)
+    plan = ShardPlan(
+        spec=spec,
+        n_shards=n_shards,
+        shard_of=shard_of,
+        boundary=tuple(boundary),
+        lookahead=lookahead,
+    )
+    validate_plan(plan)
+    return plan
+
+
+def validate_plan(plan: ShardPlan) -> None:
+    """Structural invariants every plan must satisfy.
+
+    * every node is placed on a valid shard, and every shard owns at
+      least one node;
+    * nodes of one group share one shard (the placement unit);
+    * every link touches at most two shards (equivalently: each directed
+      edge crosses at most one boundary);
+    * every boundary edge's latency >= the lookahead window.
+    """
+    spec = plan.spec
+    owned: Dict[int, int] = {}
+    for name, shard in plan.shard_of.items():
+        if not 0 <= shard < plan.n_shards:
+            raise ConfigurationError(
+                f"node {name!r} placed on invalid shard {shard}"
+            )
+        owned[shard] = owned.get(shard, 0) + 1
+    for shard in range(plan.n_shards):
+        if not owned.get(shard):
+            raise ConfigurationError(f"shard {shard} owns no nodes")
+    group_shards: Dict[int, int] = {}
+    for node in spec.nodes:
+        shard = plan.shard_of[node.name]
+        if group_shards.setdefault(node.group, shard) != shard:
+            raise ConfigurationError(
+                f"group {node.group} split across shards"
+            )
+    for link in spec.links:
+        if len({plan.shard_of[link.a], plan.shard_of[link.b]}) > 2:
+            raise ConfigurationError(  # pragma: no cover - 2 endpoints
+                f"link {link.a!r}-{link.b!r} spans more than two shards"
+            )
+    for edge in plan.boundary:
+        if edge.delay < plan.lookahead:
+            raise ConfigurationError(
+                f"boundary edge {edge.src!r}->{edge.dst!r} latency "
+                f"{edge.delay:g} < lookahead {plan.lookahead:g}"
+            )
+    if plan.n_shards == 1 and plan.boundary:
+        raise ConfigurationError(
+            "a 1-shard partition must have no boundary edges"
+        )

@@ -105,9 +105,18 @@ class TestExperimentFunctions:
         assert result["srr"][0.0]["faults_fired"] == 0
         assert 0 < result["srr"][0.0]["jain"] <= 1.0
 
+    def test_e15(self):
+        result = run_experiment(
+            "e15", topology="dumbbell2", shards=(1, 2),
+            duration=0.1, quiet=True,
+        )
+        assert result["digests_ok"] is True
+        assert result["events"] > 0
+        assert result["best_shards"] in (1, 2)
+
     def test_registry_complete(self):
         assert sorted(EXPERIMENTS) == sorted(
-            f"e{i}" for i in range(1, 15)
+            f"e{i}" for i in range(1, 16)
         )
 
 

@@ -309,6 +309,70 @@ class TestRunUntilEdgeCases:
         assert sim.now == 1.0
 
 
+class TestExclusiveRun:
+    """run(until, inclusive=False): the half-open window [now, until)."""
+
+    @pytest.mark.parametrize("kind", ["heap", "calendar"])
+    def test_event_exactly_at_until_stays_queued(self, kind):
+        sim = Simulator(queue=kind)
+        out = []
+        sim.schedule(1.0, out.append, "inside")
+        sim.schedule(2.0, out.append, "edge")
+        n = sim.run(until=2.0, inclusive=False)
+        assert n == 1
+        assert out == ["inside"]
+        assert sim.pending_events == 1
+        # The clock still lands on the horizon (window fully executed).
+        assert sim.now == 2.0
+
+    @pytest.mark.parametrize("kind", ["heap", "calendar"])
+    def test_edge_event_fires_on_next_inclusive_run(self, kind):
+        sim = Simulator(queue=kind)
+        out = []
+        sim.schedule(2.0, out.append, "edge")
+        sim.run(until=2.0, inclusive=False)
+        sim.run(until=2.0)
+        assert out == ["edge"]
+        assert sim.now == 2.0
+
+    def test_windowed_runs_match_single_run(self):
+        """Advancing in half-open windows + one inclusive tail is
+        bit-identical to one run(until) — the sharded engine's core
+        assumption."""
+
+        def build(sim, log):
+            def tick(tag, n):
+                log.append((sim.now, tag, n))
+                if n:
+                    sim.schedule(0.37, tick, tag, n - 1)
+            for i, tag in enumerate("abc"):
+                sim.schedule(0.1 * (i + 1), tick, tag, 8)
+
+        one, windowed = [], []
+        sim = Simulator()
+        build(sim, one)
+        sim.run(until=3.0)
+        sim2 = Simulator()
+        build(sim2, windowed)
+        horizon = 0.0
+        while horizon < 3.0:
+            horizon = min(horizon + 0.5, 3.0)
+            sim2.run(until=horizon, inclusive=bool(horizon >= 3.0))
+        assert windowed == one
+        assert sim2.now == sim.now == 3.0
+
+    @pytest.mark.parametrize("kind", ["heap", "calendar"])
+    def test_next_event_time_peeks_without_consuming(self, kind):
+        sim = Simulator(queue=kind)
+        assert sim.next_event_time() is None
+        sim.schedule(1.5, lambda: None)
+        sim.schedule(0.5, lambda: None)
+        assert sim.next_event_time() == 0.5
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.next_event_time() is None
+
+
 class TestCallbackHookHoist:
     """The hook is read once per run() call (hot-loop hoist)."""
 

@@ -1,0 +1,92 @@
+"""Observability env inheritance through shard workers.
+
+Shard workers must pick up REPRO_ENGINE / REPRO_FLIGHT / REPRO_TELEMETRY
+exactly as sweep() pool workers do — and arming the observability plane
+must not change simulation results (the armed-vs-off digest assertion).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.net.eventq import ENGINE_ENV_VAR
+from repro.net.scenario import dumbbell_of_dumbbells
+from repro.obs.flight import FLIGHT_ENV_VAR
+from repro.obs.telemetry import TELEMETRY_ENV_VAR
+from repro.shard.engine import run_sharded
+
+
+def _spec():
+    return dumbbell_of_dumbbells(groups=2, hosts_per_group=2)
+
+
+class TestEnvInheritance:
+    def test_engine_env_selects_worker_backend(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "calendar")
+        env_result = run_sharded(_spec(), until=0.1, shards=2)
+        monkeypatch.delenv(ENGINE_ENV_VAR)
+        explicit = run_sharded(
+            _spec(), until=0.1, shards=2, engine="calendar"
+        )
+        assert env_result.digest == explicit.digest
+
+    def test_armed_and_off_digests_match(self, tmp_path, monkeypatch):
+        """Arming flight recorder + telemetry in every shard worker is
+        observation, not perturbation: digests must be identical."""
+        off = run_sharded(_spec(), until=0.15, shards=2)
+        monkeypatch.setenv(FLIGHT_ENV_VAR, "4")
+        monkeypatch.setenv(
+            TELEMETRY_ENV_VAR, str(tmp_path / "telemetry.jsonl")
+        )
+        armed = run_sharded(_spec(), until=0.15, shards=2)
+        assert armed.digest == off.digest
+        assert armed.events == off.events
+
+    def test_workers_write_shard_telemetry_frames(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "telemetry.jsonl"
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, str(path))
+        run_sharded(_spec(), until=0.1, shards=2)
+        frames = [
+            json.loads(line)
+            for line in path.read_text().splitlines() if line
+        ]
+        shard_frames = [f for f in frames if f.get("kind") == "shard"]
+        end_frames = [f for f in frames if f.get("kind") == "shard_end"]
+        assert {f["shard"] for f in end_frames} == {0, 1}
+        assert shard_frames, "workers should heartbeat per window"
+        sample = end_frames[0]
+        for key in ("window", "horizon", "events", "null_windows",
+                    "boundary", "windows"):
+            assert key in sample
+        # Two distinct worker pids wrote frames.
+        assert len({f["pid"] for f in end_frames}) == 2
+
+    def test_obs_top_renders_shard_column(self, tmp_path, monkeypatch):
+        from repro.obs.top import collect_frames, render, summarize
+
+        path = tmp_path / "telemetry.jsonl"
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, str(path))
+        run_sharded(_spec(), until=0.1, shards=2)
+        rows = summarize(collect_frames(str(tmp_path)))
+        shard_rows = [r for r in rows if r.get("shard") is not None]
+        assert len(shard_rows) == 2
+        for row in shard_rows:
+            # shard_end is terminal: never flagged stalled.
+            assert row["finished"]
+            assert row["shard"]["horizon_lag"] is not None
+        body = render(rows)
+        assert "shard" in body
+        assert "s0" in body and "s1" in body
+
+    def test_chaos_env_not_forwarded_needlessly(self, monkeypatch):
+        """Only the three observability vars are snapshotted; the env
+        dict the coordinator ships must not grow silently."""
+        from repro.shard.engine import _WORKER_ENV_VARS, _snapshot_env
+
+        monkeypatch.setenv(ENGINE_ENV_VAR, "heap")
+        snap = _snapshot_env()
+        assert set(snap) == set(_WORKER_ENV_VARS)
+        assert snap[ENGINE_ENV_VAR] == "heap"

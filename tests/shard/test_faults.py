@@ -1,0 +1,97 @@
+"""Hardening: a dead or hung shard surfaces as a structured ShardError
+through every path — direct call and the sweep failures="collect" path —
+and never deadlocks the barrier or leaks worker processes."""
+
+import multiprocessing
+
+import pytest
+
+from repro.harness.sweep import FailedRun, sweep
+from repro.net.scenario import dumbbell_of_dumbbells
+from repro.shard.engine import CHAOS_ENV_VAR, ShardError, run_sharded
+
+
+def _spec():
+    return dumbbell_of_dumbbells(groups=2, hosts_per_group=2)
+
+
+def _chaos_point(chaos: str, timeout: float) -> str:
+    """Module-level (picklable) sweep point that injects shard chaos."""
+    import os
+
+    if chaos:
+        os.environ[CHAOS_ENV_VAR] = chaos
+    try:
+        result = run_sharded(
+            _spec(), until=0.3, shards=2, barrier_timeout=timeout
+        )
+        return result.digest
+    finally:
+        os.environ.pop(CHAOS_ENV_VAR, None)
+
+
+class TestShardDeath:
+    def test_dead_shard_raises_structured_error(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "1:5:die")
+        with pytest.raises(ShardError) as err:
+            run_sharded(_spec(), until=0.3, shards=2)
+        assert err.value.shard_id == 1
+        assert err.value.window == 5
+        assert err.value.reason == "died"
+        assert err.value.horizon is not None
+        assert "exit code 3" in str(err.value)
+
+    def test_workers_reaped_after_death(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "0:2:die")
+        with pytest.raises(ShardError):
+            run_sharded(_spec(), until=0.3, shards=2)
+        assert multiprocessing.active_children() == []
+
+
+class TestShardHang:
+    def test_hung_shard_times_out_with_context(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "0:3:hang")
+        with pytest.raises(ShardError) as err:
+            run_sharded(
+                _spec(), until=0.3, shards=2, barrier_timeout=2.0
+            )
+        assert err.value.shard_id == 0
+        assert err.value.window == 3
+        assert "hung" in err.value.reason
+        assert err.value.pending_boundary >= 0
+
+    def test_workers_reaped_after_hang(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "1:1:hang")
+        with pytest.raises(ShardError):
+            run_sharded(
+                _spec(), until=0.3, shards=2, barrier_timeout=1.0
+            )
+        assert multiprocessing.active_children() == []
+
+
+class TestSweepIntegration:
+    def test_collect_path_yields_failed_run(self):
+        """A chaos-killed sharded point lands as FailedRun(error_type=
+        'ShardError') in a failures='collect' sweep instead of aborting
+        it — the PR 3 contract extended to shard workers."""
+        results = sweep(
+            _chaos_point,
+            [("1:4:die", 30.0), ("", 30.0)],
+            failures="collect",
+        )
+        failed, good = results
+        assert isinstance(failed, FailedRun)
+        assert failed.error_type == "ShardError"
+        assert "died" in failed.error
+        assert isinstance(good, str) and len(good) == 64
+
+    def test_bad_chaos_spec_is_a_config_error(self, monkeypatch):
+        from repro.core import ConfigurationError
+
+        monkeypatch.setenv(CHAOS_ENV_VAR, "garbage")
+        with pytest.raises(ShardError) as err:
+            run_sharded(_spec(), until=0.05, shards=2)
+        # The worker raises ConfigurationError; the coordinator reports
+        # it as a structured remote failure naming the culprit.
+        assert err.value.reason == "raised"
+        assert "ConfigurationError" in str(err.value)

@@ -1,0 +1,130 @@
+"""Partitioner invariants: placement, boundaries, lookahead."""
+
+import math
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.net.port import BoundaryPeer
+from repro.net.scenario import dumbbell_of_dumbbells, fat_tree
+from repro.shard.build import build_network, build_shard_network
+from repro.shard.partition import partition_topology, validate_plan
+from repro.shard.topology import LinkSpec, NodeSpec, TopologySpec
+
+
+class TestPlacement:
+    def test_groups_round_robin_onto_shards(self):
+        spec = dumbbell_of_dumbbells(groups=4, hosts_per_group=2)
+        plan = partition_topology(spec, 2)
+        groups = spec.group_of()
+        for node, shard in plan.shard_of.items():
+            assert shard == groups[node] % 2
+
+    def test_every_shard_owns_nodes(self):
+        spec = fat_tree(k=4)
+        for shards in (1, 2, 4):
+            plan = partition_topology(spec, shards)
+            for s in range(shards):
+                assert plan.nodes_of(s)
+
+    def test_groups_never_split(self):
+        spec = fat_tree(k=4)
+        plan = partition_topology(spec, 4)
+        groups = spec.group_of()
+        by_group = {}
+        for node, shard in plan.shard_of.items():
+            assert by_group.setdefault(groups[node], shard) == shard
+
+    def test_too_many_shards_rejected(self):
+        spec = dumbbell_of_dumbbells(groups=2, hosts_per_group=1)
+        with pytest.raises(ConfigurationError):
+            partition_topology(spec, 3)
+
+    def test_zero_shards_rejected(self):
+        spec = dumbbell_of_dumbbells(groups=2, hosts_per_group=1)
+        with pytest.raises(ConfigurationError):
+            partition_topology(spec, 0)
+
+
+class TestBoundary:
+    def test_every_edge_crosses_at_most_one_boundary(self):
+        spec = fat_tree(k=4)
+        plan = partition_topology(spec, 4)
+        for link in spec.links:
+            assert len(
+                {plan.shard_of[link.a], plan.shard_of[link.b]}
+            ) <= 2
+
+    def test_boundary_latency_at_least_lookahead(self):
+        spec = dumbbell_of_dumbbells(groups=4, hosts_per_group=2)
+        plan = partition_topology(spec, 4)
+        assert plan.boundary
+        assert plan.lookahead > 0
+        for edge in plan.boundary:
+            assert edge.delay >= plan.lookahead
+
+    def test_fat_tree_boundary_is_agg_core_only(self):
+        spec = fat_tree(k=4)
+        plan = partition_topology(spec, 4)
+        for edge in plan.boundary:
+            assert "a" in edge.src or edge.src.startswith("c")
+            assert "a" in edge.dst or edge.dst.startswith("c")
+
+    def test_zero_delay_boundary_rejected(self):
+        spec = TopologySpec(
+            name="bad",
+            nodes=(NodeSpec("a", group=0), NodeSpec("b", group=1)),
+            links=(LinkSpec("a", "b", rate_bps=1e6, delay=0.0),),
+        )
+        with pytest.raises(ConfigurationError):
+            partition_topology(spec, 2)
+
+    def test_validate_plan_passes_for_generators(self):
+        for spec in (
+            dumbbell_of_dumbbells(groups=3, hosts_per_group=2),
+            fat_tree(k=4),
+        ):
+            for shards in (1, 2, spec.n_groups):
+                validate_plan(partition_topology(spec, shards))
+
+
+class TestOneShardIdentity:
+    def test_one_shard_plan_has_no_boundary(self):
+        spec = fat_tree(k=4)
+        plan = partition_topology(spec, 1)
+        assert plan.boundary == ()
+        assert plan.lookahead == math.inf
+
+    def test_one_shard_build_is_identity(self):
+        """A 1-shard ShardNetwork has no proxy ports and matches the
+        reference build structurally."""
+        spec = dumbbell_of_dumbbells(groups=2, hosts_per_group=2)
+        plan = partition_topology(spec, 1)
+        sharded = build_shard_network(plan, 0)
+        reference = build_network(spec)
+        assert sharded.boundary_ports == []
+        assert set(sharded.nodes) == set(reference.nodes)
+        for name, node in sharded.nodes.items():
+            assert set(node.ports) == set(reference.nodes[name].ports)
+            for peer_name, port in node.ports.items():
+                assert not isinstance(port.peer, BoundaryPeer)
+                assert port.remote_receive is None
+                assert not port.link.boundary
+
+    def test_multi_shard_build_has_proxies_only_at_boundary(self):
+        spec = dumbbell_of_dumbbells(groups=2, hosts_per_group=2)
+        plan = partition_topology(spec, 2)
+        net = build_shard_network(plan, 0)
+        boundary_pairs = {
+            (e.src, e.dst) for e in plan.boundary if e.src_shard == 0
+        }
+        proxied = {
+            (name, peer)
+            for name, node in net.nodes.items()
+            for peer, port in node.ports.items()
+            if isinstance(port.peer, BoundaryPeer)
+        }
+        assert proxied == boundary_pairs
+        for port in net.boundary_ports:
+            assert port.link.boundary
+            assert port.remote_receive is not None
