@@ -23,6 +23,20 @@ from .fairness import (
     worst_case_lag,
 )
 from .metrics import DelayStats, jitter, percentile, summarize_delays
+from .netcalc import (
+    NETCALC_DISCIPLINES,
+    RateLatency,
+    TokenBucket,
+    backlog_bound,
+    convolve,
+    deconvolve,
+    delay_bound,
+    drr_service_curve,
+    iwrr_service_curve,
+    service_curve,
+    srr_service_curve,
+    wrr_service_curve,
+)
 from .stats import (
     ReplicationSummary,
     summarize_replications,
@@ -30,6 +44,7 @@ from .stats import (
 )
 from .service_curves import (
     curve_from_finish_times,
+    curve_from_records,
     horizontal_deviation,
     max_ideal_lag,
 )
@@ -38,13 +53,23 @@ from .tables import format_table, print_table, records_table, rows_from_records
 __all__ = [
     "DelayStats",
     "GapStats",
+    "NETCALC_DISCIPLINES",
+    "RateLatency",
+    "TokenBucket",
+    "backlog_bound",
+    "convolve",
     "curve_from_finish_times",
+    "curve_from_records",
+    "deconvolve",
+    "delay_bound",
     "drr_delay_bound",
+    "drr_service_curve",
     "end_to_end_bound",
     "format_table",
     "g3_delay_bound",
     "gap_statistics",
     "horizontal_deviation",
+    "iwrr_service_curve",
     "jain_index",
     "jitter",
     "max_ideal_lag",
@@ -54,6 +79,8 @@ __all__ = [
     "records_table",
     "rows_from_records",
     "ReplicationSummary",
+    "service_curve",
+    "srr_service_curve",
     "summarize_replications",
     "t_critical",
     "rrr_delay_bound",
@@ -64,4 +91,5 @@ __all__ = [
     "wfq_delay_bound",
     "worst_case_fairness",
     "worst_case_lag",
+    "wrr_service_curve",
 ]

@@ -90,6 +90,12 @@ def srr_delay_bound(
         raise ConfigurationError("weight must be >= 1")
     if n_flows < 1:
         raise ConfigurationError("n_flows must be >= 1")
+    if weight_unit_bps <= 0:
+        # Without this, a zero/negative unit yields inf or negative
+        # "bounds" that end_to_end_bound rejects confusingly downstream.
+        raise ConfigurationError(
+            f"weight_unit_bps must be positive, got {weight_unit_bps}"
+        )
     rate = weight * weight_unit_bps
     m = nonzero_bits(weight)
     n_m = weight.bit_length() - 1  # highest set bit

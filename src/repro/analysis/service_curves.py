@@ -11,6 +11,7 @@ records).
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, Tuple
 
 from ..core.errors import ConfigurationError
@@ -18,10 +19,20 @@ from ..core.errors import ConfigurationError
 __all__ = [
     "horizontal_deviation",
     "curve_from_finish_times",
+    "curve_from_records",
     "max_ideal_lag",
 ]
 
 Curve = Sequence[Tuple[float, float]]  # (time, cumulative bytes), sorted
+
+
+def _reject_nan(finish_times: Sequence[float]) -> None:
+    # NaN compares false against everything, so sorted() would quietly
+    # push it to wherever the sort left it and the deviation math below
+    # would propagate NaN (or worse, drop it via max()).
+    for t in finish_times:
+        if math.isnan(t):
+            raise ConfigurationError("finish times must not contain NaN")
 
 
 def curve_from_finish_times(
@@ -30,9 +41,36 @@ def curve_from_finish_times(
     """Cumulative-bytes steps from per-packet finish times (fixed size)."""
     if packet_size <= 0:
         raise ConfigurationError("packet_size must be positive")
+    _reject_nan(finish_times)
     return [
         (t, (i + 1) * packet_size) for i, t in enumerate(sorted(finish_times))
     ]
+
+
+def curve_from_records(
+    finish_times: Sequence[float], sizes: Sequence[int]
+) -> List[Tuple[float, float]]:
+    """Variable-size form of :func:`curve_from_finish_times`.
+
+    ``sizes[i]`` is the byte size of the packet finishing at
+    ``finish_times[i]``; the pair is kept together through the sort so
+    cumulative bytes accrue in service order.
+    """
+    if len(finish_times) != len(sizes):
+        raise ConfigurationError(
+            f"finish_times and sizes disagree: "
+            f"{len(finish_times)} vs {len(sizes)}"
+        )
+    _reject_nan(finish_times)
+    for s in sizes:
+        if s <= 0:
+            raise ConfigurationError(f"packet sizes must be positive, got {s}")
+    served = 0.0
+    curve: List[Tuple[float, float]] = []
+    for t, size in sorted(zip(finish_times, sizes)):
+        served += size
+        curve.append((t, served))
+    return curve
 
 
 def horizontal_deviation(
@@ -48,6 +86,13 @@ def horizontal_deviation(
     """
     if rate_bps <= 0:
         raise ConfigurationError("rate must be positive")
+    if not curve:
+        # A flow that never got service has no deviation to measure; the
+        # old silent 0.0 read as "bound certified" for exactly the flow
+        # most likely to be starved.
+        raise ConfigurationError(
+            "empty service curve: the flow received no service"
+        )
     rate_bytes = rate_bps / 8.0
     worst = 0.0
     last_t = -float("inf")
@@ -70,6 +115,11 @@ def max_ideal_lag(
     per-packet form of Definition 1 (Eq. 2)."""
     if rate_bps <= 0 or packet_size <= 0:
         raise ConfigurationError("need positive rate and packet size")
+    if not finish_times:
+        raise ConfigurationError(
+            "empty finish-time list: the flow received no service"
+        )
+    _reject_nan(finish_times)
     per_packet = packet_size * 8.0 / rate_bps
     worst = 0.0
     for i, t in enumerate(sorted(finish_times)):

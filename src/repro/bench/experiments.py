@@ -21,6 +21,7 @@ execution order.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
@@ -76,6 +77,7 @@ __all__ = [
     "e13_churn_resilience",
     "e14_overload_control",
     "e15_shard_scaling",
+    "e16_bound_tightness",
 ]
 
 
@@ -469,8 +471,8 @@ def e4_delay_vs_n(
 @dataclass(frozen=True)
 class E5Params:
     schedulers: Tuple[str, ...] = (
-        "srr", "drr", "wrr", "strr", "wfq", "scfq", "stfq", "wf2q+", "vc",
-        "g3", "rrr",
+        "srr", "drr", "wrr", "iwrr", "strr", "wfq", "scfq", "stfq",
+        "wf2q+", "vc", "g3", "rrr",
     )
     n_values: Tuple[int, ...] = (16, 64, 256, 1024, 4096)
     measure: int = 3000
@@ -1057,7 +1059,9 @@ def _e10_point(name: str, weight: int, n_flows: int, rounds: int) -> Dict:
     else:
         rate = weight / capacity_units * link
         bound = rrr_delay_bound(weight, capacity_units, MTU, link)
-    measured = max_ideal_lag(finish, rate, MTU)
+    # max_ideal_lag raises on an empty curve (a starved flow must not
+    # read as "bound certified"); report it as an explicit failure here.
+    measured = max_ideal_lag(finish, rate, MTU) if finish else math.inf
     return {
         "scheduler": name,
         "weight": weight,
@@ -1964,6 +1968,170 @@ def e15_shard_scaling(
 
 
 # ---------------------------------------------------------------------------
+# E16 — [ext] network-calculus bound tightness
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class E16Params:
+    #: Disciplines with a strict service curve in ``repro.analysis.netcalc``.
+    disciplines: Tuple[str, ...] = ("srr", "drr", "wrr", "iwrr")
+    flow_counts: Tuple[int, ...] = (2, 4, 8)
+    #: Independent weight draws per (discipline, n_flows) case.
+    seeds_per_case: int = 3
+    #: Source rate as a fraction of each flow's reserved share (< 1 keeps
+    #: every arrival token-bucket conformant, so the bounds apply).
+    utilization: float = 0.6
+    horizon_s: float = 0.4
+    packet_size: int = 250
+    link_bps: float = 2_000_000.0
+    quantum: int = 1500
+    engine: str = "heap"
+
+
+def _e16_point(
+    discipline: str,
+    n_flows: int,
+    seed: int,
+    engine: str,
+    utilization: float,
+    horizon_s: float,
+    packet_size: int,
+    link_bps: float,
+    quantum: int,
+) -> Dict:
+    import random as _random
+
+    from ..conformance.oracles import bounds_certification_run
+
+    rng = _random.Random(seed)
+    if discipline == "drr":
+        # DRR is the one discipline whose curve accepts fractional quanta.
+        weights: List[float] = [
+            round(rng.uniform(0.5, 8.0), 3) for _ in range(n_flows)
+        ]
+    else:
+        weights = [rng.choice((1, 2, 3, 4, 6, 8, 16)) for _ in range(n_flows)]
+    records = bounds_certification_run(
+        discipline,
+        [(f"f{i}", w) for i, w in enumerate(weights)],
+        engine=engine,
+        link_bps=link_bps,
+        packet_size=packet_size,
+        utilization=utilization,
+        horizon_s=horizon_s,
+        quantum=quantum,
+    )
+    ratios = [r["ratio"] for r in records if r["ratio"] is not None]
+    certified = bool(ratios) and all(
+        r["ratio"] is not None and r["ratio"] <= 1.0 + 1e-9 for r in records
+    )
+    return {
+        "discipline": discipline,
+        "n_flows": n_flows,
+        "seed": seed,
+        "worst_ratio": max(ratios) if ratios else None,
+        "mean_ratio": sum(ratios) / len(ratios) if ratios else None,
+        "worst_bound_ms": round(
+            max(r["bound_s"] for r in records) * 1e3, 3
+        ),
+        "delivered": sum(r["delivered"] for r in records),
+        "certified": certified,
+    }
+
+
+def _e16_body(p: E16Params, ctx: RunContext) -> Dict:
+    """Network-calculus bound tightness per discipline (E16).
+
+    For each (discipline, N, weight draw) the certification run computes
+    every flow's closed-form delay bound (token-bucket arrival through
+    the discipline's rate-latency service curve) and measures the worst
+    observed delivery delay under conformant CBR load. The reported
+    observed/certified ratio is the bound-tightness figure: <= 1 means
+    the bound held (the ``bounds`` conformance oracle asserts exactly
+    this on the fuzz corpus), and how far below 1 says how much slack
+    the analysis leaves on realistic traffic.
+    """
+    tasks = []
+    i = 0
+    for d in p.disciplines:
+        for n in p.flow_counts:
+            for _ in range(p.seeds_per_case):
+                tasks.append((
+                    d, n, ctx.child_seed(i), p.engine, p.utilization,
+                    p.horizon_s, p.packet_size, p.link_bps, p.quantum,
+                ))
+                i += 1
+    records = ctx.sweep(_e16_point, tasks)
+    ctx.add_points(records)
+
+    rows: List[Dict] = []
+    all_certified = True
+    worst_overall = 0.0
+    for d in p.disciplines:
+        recs = [r for r in records if r["discipline"] == d]
+        ratios = [
+            r["worst_ratio"] for r in recs if r["worst_ratio"] is not None
+        ]
+        means = [
+            r["mean_ratio"] for r in recs if r["mean_ratio"] is not None
+        ]
+        ok = bool(recs) and all(r["certified"] for r in recs)
+        all_certified = all_certified and ok
+        worst = max(ratios) if ratios else math.inf
+        worst_overall = max(worst_overall, worst)
+        rows.append({
+            "discipline": d,
+            "cases": len(recs),
+            "worst_ratio": round(worst, 4) if ratios else None,
+            "mean_ratio": (
+                round(sum(means) / len(means), 4) if means else None
+            ),
+            "worst_bound_ms": max(r["worst_bound_ms"] for r in recs),
+            "certified": ok,
+        })
+        ctx.metrics.gauge(
+            "e16_worst_ratio", discipline=d,
+        ).set(round(worst, 6) if ratios else math.inf)
+    ctx.table(
+        ["discipline", "cases", "worst obs/cert", "mean obs/cert",
+         "worst bound ms", "certified"],
+        records=rows,
+        columns=["discipline", "cases", "worst_ratio", "mean_ratio",
+                 "worst_bound_ms", "certified"],
+        title="E16: network-calculus bound tightness "
+              f"(CBR at {p.utilization:.0%} of reserved rate, "
+              f"{p.link_bps / 1e6:g} Mbps link)",
+    )
+    metrics: Dict = {
+        "disciplines": list(p.disciplines),
+        "cases": len(records),
+        "all_certified": all_certified,
+        "worst_ratio": round(worst_overall, 4),
+    }
+    for row in rows:
+        metrics[f"worst_ratio_{row['discipline']}"] = row["worst_ratio"]
+    return metrics
+
+
+def e16_bound_tightness(
+    disciplines: Sequence[str] = None,
+    *,
+    flow_counts: Sequence[int] = None,
+    seeds_per_case: int = None,
+    quiet: bool = False,
+    jobs: int = 1,
+) -> Dict:
+    """Observed-vs-certified delay ratio per discipline (E16)."""
+    return _metrics(
+        "e16",
+        {"disciplines": None if disciplines is None else tuple(disciplines),
+         "flow_counts": None if flow_counts is None else tuple(flow_counts),
+         "seeds_per_case": seeds_per_case},
+        quiet=quiet, jobs=jobs, seed=1,
+    )
+
+
+# ---------------------------------------------------------------------------
 # The declarative experiment registry
 # ---------------------------------------------------------------------------
 
@@ -2123,6 +2291,19 @@ SPECS: Dict[str, ExperimentSpec] = {
                 "engines": ("heap", "calendar"),
                 "duration": 160.0,
             },
+        },
+    ),
+    "e16": ExperimentSpec(
+        eid="e16",
+        title="[ext] network-calculus bound tightness (observed/certified)",
+        params_type=E16Params,
+        body=_e16_body,
+        scales={
+            "quick": {
+                "flow_counts": (2, 4), "seeds_per_case": 1,
+                "horizon_s": 0.2,
+            },
+            "full": {},
         },
     ),
 }

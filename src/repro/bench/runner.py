@@ -44,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., Dict]] = {
     "e13": experiments.e13_churn_resilience,
     "e14": experiments.e14_overload_control,
     "e15": experiments.e15_shard_scaling,
+    "e16": experiments.e16_bound_tightness,
 }
 
 _DESCRIPTIONS = {eid: spec.title for eid, spec in SPECS.items()}

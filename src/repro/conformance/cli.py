@@ -50,6 +50,8 @@ def check_seed(
     variant_names: Optional[Sequence[str]] = None,
     engine_check: bool = False,
     core: str = "object",
+    bounds: bool = False,
+    bounds_engines: Sequence[str] = ("heap",),
 ) -> Dict[str, Any]:
     """Fuzz one seed across variants (module-level: sweep workers pickle
     it). Returns a JSON-able verdict record with a content digest.
@@ -57,13 +59,20 @@ def check_seed(
     ``core="fast"`` swaps every fast-capable variant onto its flat-core
     twin while keeping variant names — the digest is over the *names* and
     service orders, so a fast run of the corpus must produce the same
-    digest as an object run (the PR-blocking cross-core check)."""
+    digest as an object run (the PR-blocking cross-core check).
+
+    ``bounds=True`` adds the network-calculus certification family on
+    the disciplines with a service curve, replayed under each engine in
+    ``bounds_engines``."""
     from ..obs.telemetry import get_telemetry
 
     scenario = generate_scenario(seed, quick=quick)
     names = list(variant_names) if variant_names else [
         v.name for v in VARIANTS()
     ]
+    families: Sequence[str] = ("conservation", "lag", "metamorphic")
+    if bounds:
+        families = families + ("bounds",)
     violations: List[Dict[str, Any]] = []
     hasher = hashlib.sha256()
     # Env-activated in pool workers (REPRO_TELEMETRY); None when off.
@@ -73,7 +82,9 @@ def check_seed(
         run = run_scenario(variant, scenario, core=core)
         hasher.update(repr((seed, name, run.order_key())).encode())
         for v in check_scenario(variant, scenario, run=run,
-                                engine_check=engine_check, core=core):
+                                families=families,
+                                engine_check=engine_check, core=core,
+                                bounds_engines=tuple(bounds_engines)):
             violations.append(v.to_json_dict())
         if tele is not None:
             tele.heartbeat(seed=seed, variant=name,
@@ -161,6 +172,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--engine-every", type=int, default=10,
                         help="run the heap-vs-calendar engine oracle on "
                              "every Nth seed (0 disables; default 10)")
+    parser.add_argument("--bounds", action="store_true",
+                        help="also certify observed delays against the "
+                             "network-calculus bounds (srr/drr/wrr/iwrr)")
+    parser.add_argument("--bounds-engine",
+                        choices=("heap", "calendar", "both"),
+                        default="heap",
+                        help="event engine(s) for the bounds "
+                             "certification replay (default heap)")
     parser.add_argument("--corpus", action="store_true",
                         help="replay the committed seed corpus instead "
                              "of random seeds")
@@ -212,6 +231,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seeds = corpus_seeds()
     else:
         seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    bounds_engines = (
+        ("heap", "calendar") if args.bounds_engine == "both"
+        else (args.bounds_engine,)
+    )
     tasks = [
         (
             seed,
@@ -219,6 +242,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             variant_names,
             bool(args.engine_every) and i % args.engine_every == 0,
             args.core,
+            args.bounds,
+            bounds_engines,
         )
         for i, seed in enumerate(seeds)
     ]
@@ -275,6 +300,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "seeds": len(seeds),
         "quick": args.quick,
         "core": args.core,
+        "bounds": bool(args.bounds),
+        "bounds_engines": list(bounds_engines) if args.bounds else [],
         "variants": variant_names or [v.name for v in VARIANTS()],
         "violations": n_violations,
         "failing_seeds": [r["seed"] for r in failing],

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.errors import ConfigurationError
 from .runner import (
     OP_BUDGET,
     ScenarioRun,
@@ -51,6 +52,8 @@ from .scenario import FlowDef, Scenario
 
 __all__ = [
     "Violation",
+    "bounds_certification_run",
+    "check_bounds",
     "check_conservation",
     "check_fluid_lag",
     "check_metamorphic",
@@ -178,6 +181,7 @@ def check_conservation(
 _LAG_UNIT: Dict[str, str] = {
     "srr": "packets",
     "wrr": "packets",
+    "iwrr": "packets",
     "rr": "packets",
     "rrr": "packets",
     "g3": "packets",
@@ -289,6 +293,11 @@ def lag_bound(
             return float(2 * n + 2)
         if name == "wrr":
             # One full frame (sum of bursts) + one re-entry frame.
+            return 2.0 * total_w + 2.0
+        if name == "iwrr":
+            # Interleaving spreads the frame's bursts, so WRR's envelope
+            # is an upper bound for IWRR too (round swaps can reorder
+            # which cycle a flow lands in, but never add frames).
             return 2.0 * total_w + 2.0
         if name == "srr":
             # One WSS round per order change (restart policy, at most one
@@ -564,6 +573,198 @@ def _engine_run(
 
 
 # ---------------------------------------------------------------------------
+# Family 4: network-calculus delay-bound certification
+# ---------------------------------------------------------------------------
+
+#: Disciplines with a certified service curve (repro.analysis.netcalc).
+_BOUNDS_DISCIPLINES = ("srr", "drr", "wrr", "iwrr")
+
+#: Derived-network parameters for the certification run. The sources are
+#: *conformant* (aggregate demand = utilization * link), because the
+#: delay bound is a statement about flows inside their reservation —
+#: overload delay is the admission plane's problem, not the scheduler's.
+_BOUNDS_LINK_BPS = 2_000_000.0
+_BOUNDS_PROP_DELAY_S = 0.001
+_BOUNDS_UTILIZATION = 0.6
+_BOUNDS_HORIZON_S = 0.4
+
+
+def bounds_certification_run(
+    discipline: str,
+    flow_weights: Sequence[Tuple[Any, float]],
+    *,
+    engine: str = "heap",
+    core: str = "object",
+    link_bps: float = _BOUNDS_LINK_BPS,
+    prop_delay_s: float = _BOUNDS_PROP_DELAY_S,
+    packet_size: int = 250,
+    utilization: float = _BOUNDS_UTILIZATION,
+    horizon_s: float = _BOUNDS_HORIZON_S,
+    quantum: int = 1500,
+    op_budget: int = 2_000_000,
+) -> List[Dict[str, Any]]:
+    """Drive conformant CBR flows through a bottleneck; certify delays.
+
+    Builds the same two-node network as the engine oracle, computes each
+    flow's network-calculus delay bound (token-bucket arrival through the
+    discipline's strict service curve, plus propagation), runs the
+    simulation, and returns one record per flow with the certified bound
+    and the worst observed delivery delay. Shared by the ``bounds``
+    conformance oracle (which turns ``observed > bound`` into a
+    violation) and experiment E16 (which reports the observed/certified
+    tightness ratio).
+
+    Each source sends at ``utilization`` of its reserved share, so every
+    arrival is ``(L, rho_i)``-constrained and the bound applies; packet
+    sizes are uniform (the curves' fixed-``L`` model).
+    """
+    from ..analysis.netcalc import TokenBucket, delay_bound, service_curve
+    from ..net.scenario import Network
+    from ..net.sources import CBRSource
+    from .runner import _BudgetedOpCounter, resolve_scheduler
+
+    if not flow_weights:
+        raise ConfigurationError("need at least one flow to certify")
+    weights = [float(w) for _, w in flow_weights]
+    total_w = sum(weights)
+    kwargs: Dict[str, Any] = {"op_counter": _BudgetedOpCounter(op_budget)}
+    if discipline in ("drr", "srr"):
+        kwargs["quantum"] = quantum
+    net = Network(
+        default_scheduler=resolve_scheduler(discipline, core),
+        default_scheduler_kwargs=kwargs,
+        engine=engine,
+    )
+    net.add_node("src")
+    net.add_node("dst")
+    net.add_link("src", "dst", link_bps, delay=prop_delay_s)
+    worst: Dict[Any, float] = {}
+    delivered: Dict[Any, int] = {}
+
+    def on_delivery(p) -> None:
+        delay = p.delivered_at - p.created_at
+        if delay > worst.get(p.flow_id, -1.0):
+            worst[p.flow_id] = delay
+        delivered[p.flow_id] = delivered.get(p.flow_id, 0) + 1
+
+    net.sinks.add_listener(on_delivery)
+    records: List[Dict[str, Any]] = []
+    for (flow_id, weight), w in zip(flow_weights, weights):
+        curve = service_curve(
+            discipline, weight=w, weights=weights,
+            packet_size=packet_size, link_rate_bps=link_bps,
+            quantum=quantum,
+        )
+        rho = utilization * curve.rate_bps
+        arrival = TokenBucket(sigma_bytes=packet_size, rho_bps=rho)
+        bound = delay_bound(arrival, curve) + prop_delay_s
+        # The integer-coded disciplines validate weight *types*, not just
+        # values — register them with the exact ints the curve used.
+        reg_weight: float = w if discipline == "drr" else int(w)
+        net.add_flow(flow_id, "src", "dst", reg_weight)
+        # Stop emissions early enough that the backlog drains inside the
+        # horizon — undelivered packets would escape certification.
+        net.attach_source(
+            flow_id,
+            CBRSource(rho, packet_size, stop_at=0.6 * horizon_s),
+        )
+        records.append({
+            "flow_id": flow_id,
+            "weight": w,
+            "share": w / total_w,
+            "rate_bps": curve.rate_bps,
+            "latency_s": curve.latency_s,
+            "bound_s": bound,
+        })
+    net.run(until=horizon_s)
+    for rec in records:
+        fid = rec["flow_id"]
+        rec["observed_s"] = worst.get(fid)
+        rec["delivered"] = delivered.get(fid, 0)
+        rec["ratio"] = (
+            worst[fid] / rec["bound_s"] if fid in worst else None
+        )
+    return records
+
+
+def check_bounds(
+    variant: Variant,
+    scenario: Scenario,
+    *,
+    core: str = "object",
+    engine: str = "heap",
+) -> List[Violation]:
+    """Certify observed delays against network-calculus bounds.
+
+    The scheduler-level op script has no clock, so — like the engine
+    oracle — this lifts the scenario's flows and weights onto a derived
+    bottleneck network, computes each flow's closed-form delay bound from
+    :mod:`repro.analysis.netcalc`, and fails if any delivered packet
+    exceeded it. Only disciplines with a certified service curve
+    participate; every other variant is exempt (not silently passed —
+    the family simply does not apply).
+    """
+    from .runner import LivelockError
+
+    if variant.scheduler not in _BOUNDS_DISCIPLINES:
+        return []
+
+    def bounds_weight(f: FlowDef) -> float:
+        # Same flooring as the engine oracle: extreme fractional weights
+        # make honest runs dominate the fuzz budget without exercising
+        # anything new in the curve math (the generic DRR latency covers
+        # the sub-packet-quantum regime analytically).
+        if variant.fractional:
+            return max(float(f.frac_weight), 0.05)
+        return float(f.weight)
+
+    flows = scenario.flows[:4] or (FlowDef("f0", 1, 1.0),)
+    flow_weights = [(f.flow_id, bounds_weight(f)) for f in flows]
+    try:
+        records = bounds_certification_run(
+            variant.scheduler, flow_weights, engine=engine, core=core,
+            quantum=scenario.quantum,
+        )
+    except LivelockError:
+        return [Violation(
+            "bounds",
+            "bounds_livelock",
+            variant.name,
+            f"scheduler livelocked inside the {engine} bounds "
+            f"certification replay",
+            {"engine": engine},
+        )]
+    out: List[Violation] = []
+    for rec in records:
+        observed = rec["observed_s"]
+        if observed is None:
+            # A conformant CBR source always emits its first packet at
+            # t=0, so zero deliveries inside the horizon means the flow
+            # was starved outright — never "certified by silence".
+            out.append(Violation(
+                "bounds",
+                "no_service",
+                variant.name,
+                f"flow {rec['flow_id']!r} delivered no packets inside "
+                f"the certification horizon despite a conformant source",
+                {"flow_id": rec["flow_id"], "engine": engine},
+            ))
+        elif observed > rec["bound_s"] + 1e-9:
+            out.append(Violation(
+                "bounds",
+                "delay_bound",
+                variant.name,
+                f"flow {rec['flow_id']!r} observed delay "
+                f"{observed * 1e3:.3f} ms exceeds the certified "
+                f"network-calculus bound {rec['bound_s'] * 1e3:.3f} ms "
+                f"({engine} engine)",
+                {"flow_id": rec["flow_id"], "observed_s": observed,
+                 "bound_s": rec["bound_s"], "engine": engine},
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -576,6 +777,7 @@ def check_scenario(
     run: Optional[ScenarioRun] = None,
     op_budget: int = OP_BUDGET,
     core: str = "object",
+    bounds_engines: Sequence[str] = ("heap",),
 ) -> List[Violation]:
     """Run one scenario through one variant and every requested oracle.
 
@@ -583,6 +785,8 @@ def check_scenario(
     determinism digest) skip the duplicate base run; ``op_budget`` sets
     the livelock watchdog's no-progress gap for every run performed here
     (the shrinker lowers it so livelocked candidates stay cheap).
+    ``bounds_engines`` selects which event engines the ``bounds`` family
+    (when requested) replays the certification network under.
     """
     if run is None:
         run = run_scenario(variant, scenario, op_budget=op_budget, core=core)
@@ -599,4 +803,8 @@ def check_scenario(
         # (and a livelocked one would burn the engine backstop budget).
         if engine_check and not out:
             out.extend(check_engine_equivalence(variant, scenario, core))
+    if "bounds" in families and run.livelock_at is None:
+        for engine in bounds_engines:
+            out.extend(check_bounds(variant, scenario, core=core,
+                                    engine=engine))
     return out

@@ -8,7 +8,7 @@ per-packet heap objects:
 ``repro.fastpath.state``  :class:`FlowLanes` SoA columns + ring FIFOs
 ``repro.fastpath.base``   :class:`FastScheduler` (flow table, datapaths)
 ``repro.fastpath.srr``    ``srr:fast`` — SRR, flat weight matrix + WSS
-``repro.fastpath.roundrobin``  ``drr:fast`` / ``wrr:fast`` / ``rr:fast``
+``repro.fastpath.roundrobin``  ``drr:fast`` / ``wrr:fast`` / ``iwrr:fast`` / ``rr:fast``
 ``repro.fastpath.netloop``     lean object-free bottleneck simulation
 ========================  =============================================
 
@@ -24,7 +24,12 @@ for the layout, core-selection guidance, and PyPy notes.
 from __future__ import annotations
 
 from .base import FastScheduler
-from .roundrobin import FastDRRScheduler, FastRRScheduler, FastWRRScheduler
+from .roundrobin import (
+    FastDRRScheduler,
+    FastIWRRScheduler,
+    FastRRScheduler,
+    FastWRRScheduler,
+)
 from .srr import FastSRRScheduler
 from .state import FlowLanes, FlowView
 
@@ -34,6 +39,7 @@ __all__ = [
     "FlowView",
     "FastSRRScheduler",
     "FastDRRScheduler",
+    "FastIWRRScheduler",
     "FastWRRScheduler",
     "FastRRScheduler",
     "FAST_CORES",
@@ -46,6 +52,7 @@ FAST_CORES = {
     "srr": FastSRRScheduler,
     "drr": FastDRRScheduler,
     "wrr": FastWRRScheduler,
+    "iwrr": FastIWRRScheduler,
     "rr": FastRRScheduler,
 }
 

@@ -25,7 +25,12 @@ from ..core.opcount import NULL_COUNTER, OpCounter
 from ..schedulers.drr import MIN_VISIT_CREDIT
 from .base import FastScheduler
 
-__all__ = ["FastDRRScheduler", "FastWRRScheduler", "FastRRScheduler"]
+__all__ = [
+    "FastDRRScheduler",
+    "FastWRRScheduler",
+    "FastIWRRScheduler",
+    "FastRRScheduler",
+]
 
 
 class _ActiveListScheduler(FastScheduler):
@@ -198,6 +203,120 @@ class FastWRRScheduler(_ActiveListScheduler):
             elif self._credit == 0:
                 # Burst complete: rotate to the tail.
                 self._head = self._nxt[slot]
+            self._departed(size)
+            return slot, size, ref
+        return None
+
+
+class FastIWRRScheduler(FastScheduler):
+    """Interleaved WRR on flat columns (``iwrr:fast``).
+
+    The object twin (:class:`~repro.schedulers.iwrr.IWRRScheduler`)
+    keeps two deques — the running round's flows and the next round's.
+    Here both are circular doubly-linked lists threaded through one
+    shared ``_nxt``/``_prv`` column pair (a slot lives in at most one
+    ring at a time, tracked by ``_ring``), with per-slot integer credits
+    in their own column. Service order and per-visit op counts are
+    bit-identical to the object implementation.
+    """
+
+    name: ClassVar[str] = "iwrr:fast"
+    requires_integer_weights: ClassVar[bool] = True
+
+    _NONE, _CURRENT, _PENDING = 0, 1, 2
+
+    def __init__(self, *, op_counter: OpCounter = NULL_COUNTER) -> None:
+        super().__init__(op_counter=op_counter)
+        self._nxt: List[int] = []
+        self._prv: List[int] = []
+        self._ring: List[int] = []    # _NONE | _CURRENT | _PENDING
+        self._credit: List[int] = []
+        self._cur_head = -1
+        self._pend_head = -1
+
+    def _on_slot_added(self, slot: int) -> None:
+        while len(self._nxt) <= slot:
+            self._nxt.append(-1)
+            self._prv.append(-1)
+            self._ring.append(self._NONE)
+            self._credit.append(0)
+
+    def _splice_tail(self, head: int, slot: int) -> int:
+        """Append ``slot`` before ``head`` (= the ring's tail); new head."""
+        if head < 0:
+            self._nxt[slot] = self._prv[slot] = slot
+            return slot
+        tail = self._prv[head]
+        self._nxt[tail] = slot
+        self._prv[slot] = tail
+        self._nxt[slot] = head
+        self._prv[head] = slot
+        return head
+
+    def _unlink(self, head: int, slot: int) -> int:
+        """Remove ``slot`` from its ring; returns the new head."""
+        nxt = self._nxt[slot]
+        if nxt == slot:
+            new_head = -1
+        else:
+            prv = self._prv[slot]
+            self._nxt[prv] = nxt
+            self._prv[nxt] = prv
+            new_head = nxt if head == slot else head
+        self._nxt[slot] = self._prv[slot] = -1
+        return new_head
+
+    def _on_backlogged_slot(self, slot: int) -> None:
+        if self._ring[slot] == self._NONE:
+            self._ring[slot] = self._CURRENT
+            self._credit[slot] = int(self.lanes.weight[slot])
+            self._cur_head = self._splice_tail(self._cur_head, slot)
+
+    def _on_slot_removed(self, slot: int) -> None:
+        ring = self._ring[slot]
+        if ring == self._CURRENT:
+            self._cur_head = self._unlink(self._cur_head, slot)
+        elif ring == self._PENDING:
+            self._pend_head = self._unlink(self._pend_head, slot)
+        self._ring[slot] = self._NONE
+        self._credit[slot] = 0
+
+    def pull(self) -> Optional[Tuple[int, int, Any]]:
+        ops = self._ops
+        lanes = self.lanes
+        q_count = lanes.q_count
+        weight = lanes.weight
+        ring = self._ring
+        credits = self._credit
+        while self._cur_head >= 0 or self._pend_head >= 0:
+            if self._cur_head < 0:
+                # Round boundary: pending flows re-enter in order with
+                # fresh credit (mirrors the object deque swap).
+                while self._pend_head >= 0:
+                    ops.bump()
+                    slot = self._pend_head
+                    self._pend_head = self._unlink(self._pend_head, slot)
+                    credits[slot] = int(weight[slot])
+                    ring[slot] = self._CURRENT
+                    self._cur_head = self._splice_tail(self._cur_head, slot)
+            ops.bump()
+            slot = self._cur_head
+            size, ref = lanes.pop(slot)
+            credit = credits[slot] - 1
+            credits[slot] = credit
+            if not q_count[slot]:
+                # Drained mid-round: forfeit the remaining credit.
+                self._cur_head = self._unlink(self._cur_head, slot)
+                ring[slot] = self._NONE
+                credits[slot] = 0
+            elif credit == 0:
+                # Allocation spent: move to the pending ring's tail.
+                self._cur_head = self._unlink(self._cur_head, slot)
+                ring[slot] = self._PENDING
+                self._pend_head = self._splice_tail(self._pend_head, slot)
+            else:
+                # One packet per cycle: advance the head (rotate(-1)).
+                self._cur_head = self._nxt[slot]
             self._departed(size)
             return slot, size, ref
         return None

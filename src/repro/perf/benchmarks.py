@@ -257,7 +257,7 @@ def all_benchmarks() -> List[Benchmark]:
                 kind, _HOLD_POPULATION, _HOLD_CHURN
             ),
         ))
-    for sched in ("srr", "drr", "wfq"):
+    for sched in ("srr", "drr", "iwrr", "wfq"):
         for n in _DEQUEUE_SIZES:
             benches.append(Benchmark(
                 "scheduler_dequeue",
@@ -269,7 +269,7 @@ def all_benchmarks() -> List[Benchmark]:
                 rounds=3,
                 quick_rounds=1,
             ))
-    for sched in ("srr:fast", "drr:fast"):
+    for sched in ("srr:fast", "drr:fast", "iwrr:fast"):
         for n in _DEQUEUE_SIZES:
             benches.append(Benchmark(
                 "scheduler_dequeue",

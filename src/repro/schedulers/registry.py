@@ -22,6 +22,7 @@ from ..core.interfaces import PacketScheduler
 from ..core.srr import SRRScheduler
 from .drr import DRRScheduler
 from .fifo import FIFOScheduler
+from .iwrr import IWRRScheduler
 from .rr import RoundRobinScheduler
 from .scfq import SCFQScheduler
 from .stfq import STFQScheduler
@@ -44,6 +45,7 @@ _REGISTRY: Dict[str, SchedulerFactory] = {
     SRRScheduler.name: SRRScheduler,
     DRRScheduler.name: DRRScheduler,
     FIFOScheduler.name: FIFOScheduler,
+    IWRRScheduler.name: IWRRScheduler,
     RoundRobinScheduler.name: RoundRobinScheduler,
     SCFQScheduler.name: SCFQScheduler,
     STFQScheduler.name: STFQScheduler,

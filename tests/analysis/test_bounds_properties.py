@@ -1,0 +1,130 @@
+"""Property-based tests for the analytic delay bounds.
+
+The closed forms in :mod:`repro.analysis.bounds` feed admission control
+(E12) and the bound-validation experiments (E10/E16), so they must hold
+the obvious structural properties over the whole parameter space, not
+just the hand-picked examples in ``test_bounds.py``: every bound is a
+positive finite number of seconds, SRR's grows monotonically with the
+flow count, DRR's with the frame, and the degenerate corners (single
+flow, weight-1, ``theta(0)``) stay finite rather than collapsing to zero
+or diverging.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    drr_delay_bound,
+    end_to_end_bound,
+    g3_delay_bound,
+    srr_delay_bound,
+    theta,
+    wfq_delay_bound,
+)
+from repro.core import ConfigurationError
+
+# Physically plausible ranges: 64 B .. 9 kB packets, 64 kbps .. 100 Gbps
+# links. Weight units stay below the link rate so reserved rates are
+# feasible.
+weights = st.integers(min_value=1, max_value=4096)
+flow_counts = st.integers(min_value=1, max_value=100_000)
+packet_sizes = st.integers(min_value=64, max_value=9000)
+link_rates = st.floats(min_value=64e3, max_value=100e9,
+                       allow_nan=False, allow_infinity=False)
+unit_fracs = st.floats(min_value=1e-6, max_value=1e-2,
+                       allow_nan=False, allow_infinity=False)
+
+
+class TestSRRProperties:
+    @given(w=weights, n=flow_counts, size=packet_sizes, rate=link_rates,
+           frac=unit_fracs)
+    @settings(max_examples=200, deadline=None)
+    def test_positive_and_finite(self, w, n, size, rate, frac):
+        bound = srr_delay_bound(w, n, size, rate, rate * frac)
+        assert math.isfinite(bound)
+        assert bound > 0
+
+    @given(w=weights, n=st.integers(min_value=1, max_value=50_000),
+           size=packet_sizes, rate=link_rates, frac=unit_fracs)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_n(self, w, n, size, rate, frac):
+        unit = rate * frac
+        smaller = srr_delay_bound(w, n, size, rate, unit)
+        larger = srr_delay_bound(w, 2 * n, size, rate, unit)
+        assert larger >= smaller
+
+    @given(size=packet_sizes, rate=link_rates, frac=unit_fracs)
+    @settings(max_examples=100, deadline=None)
+    def test_degenerate_single_flow_weight_one(self, size, rate, frac):
+        # theta(0) = 1 keeps the weight-1 (m=1 bit) single-flow corner
+        # finite: one packet time plus zero extra-bit terms.
+        assert theta(0) == 1.0
+        bound = srr_delay_bound(1, 1, size, rate, rate * frac)
+        assert math.isfinite(bound)
+        assert bound > 0
+
+    @given(w=weights, n=flow_counts, size=packet_sizes, rate=link_rates)
+    @settings(max_examples=50, deadline=None)
+    def test_nonpositive_weight_unit_rejected(self, w, n, size, rate):
+        for bad in (0.0, -1.0, -rate):
+            with pytest.raises(ConfigurationError,
+                               match="weight_unit_bps must be positive"):
+                srr_delay_bound(w, n, size, rate, bad)
+
+
+class TestDRRProperties:
+    @given(w=st.floats(min_value=0.01, max_value=64, allow_nan=False),
+           extra=st.floats(min_value=0.0, max_value=512, allow_nan=False),
+           quantum=st.integers(min_value=1, max_value=9000),
+           size=packet_sizes, rate=link_rates)
+    @settings(max_examples=200, deadline=None)
+    def test_positive_and_monotone_in_frame(self, w, extra, quantum,
+                                            size, rate):
+        total = w + extra
+        bound = drr_delay_bound(w, total, quantum, size, rate)
+        assert math.isfinite(bound)
+        assert bound > 0
+        # Growing the frame (more competitors) can only hurt.
+        wider = drr_delay_bound(w, total + 1.0, quantum, size, rate)
+        assert wider >= bound
+
+
+class TestG3Properties:
+    @given(cap_bits=st.integers(min_value=0, max_value=20),
+           size=packet_sizes, rate=link_rates, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_positive_finite_any_weight(self, cap_bits, size, rate, data):
+        capacity = 1 << cap_bits
+        w = data.draw(st.integers(min_value=1, max_value=capacity))
+        bound = g3_delay_bound(w, capacity, size, rate)
+        assert math.isfinite(bound)
+        assert bound > 0
+
+
+class TestComposition:
+    @given(sigma=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+           rate=st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
+           hops=st.lists(
+               st.floats(min_value=0, max_value=10, allow_nan=False),
+               min_size=0, max_size=8,
+           ))
+    @settings(max_examples=200, deadline=None)
+    def test_end_to_end_superadditive_in_hops(self, sigma, rate, hops):
+        total = end_to_end_bound(sigma, rate, hops)
+        assert math.isfinite(total)
+        assert total >= sum(hops)
+        # Adding a hop adds at least that hop's bound.
+        longer = end_to_end_bound(sigma, rate, hops + [1.0])
+        assert longer >= total + 1.0 - 1e-9 * max(1.0, total)
+
+    @given(sigma=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+           rate=st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
+           size=packet_sizes, link=link_rates)
+    @settings(max_examples=100, deadline=None)
+    def test_wfq_dominates_pure_burst_term(self, sigma, rate, size, link):
+        bound = wfq_delay_bound(sigma, rate, size, link)
+        assert bound > sigma * 8.0 / rate
+        assert math.isfinite(bound)

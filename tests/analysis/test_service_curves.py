@@ -5,6 +5,7 @@ import pytest
 from repro.core import ConfigurationError
 from repro.analysis import (
     curve_from_finish_times,
+    curve_from_records,
     format_table,
     horizontal_deviation,
     max_ideal_lag,
@@ -47,6 +48,33 @@ class TestCurves:
             curve_from_finish_times([0.1], 0)
         with pytest.raises(ConfigurationError):
             max_ideal_lag([0.1], 0, 100)
+
+    def test_curve_from_records_variable_sizes(self):
+        curve = curve_from_records([0.3, 0.1, 0.2], [1500, 40, 200])
+        assert curve == [(0.1, 40), (0.2, 240), (0.3, 1740)]
+
+    def test_curve_from_records_validation(self):
+        with pytest.raises(ConfigurationError):
+            curve_from_records([0.1, 0.2], [100])  # length mismatch
+        with pytest.raises(ConfigurationError):
+            curve_from_records([0.1], [0])  # non-positive size
+        with pytest.raises(ConfigurationError):
+            curve_from_records([float("nan")], [100])
+
+    def test_nan_finish_times_rejected(self):
+        nan = float("nan")
+        with pytest.raises(ConfigurationError):
+            curve_from_finish_times([0.1, nan], 100)
+        with pytest.raises(ConfigurationError):
+            max_ideal_lag([0.1, nan], 8000, 100)
+
+    def test_empty_curve_raises_not_zero(self):
+        # A starved flow must surface as an error, never as a perfect
+        # 0.0 deviation (the silent-zero bug E10 used to inherit).
+        with pytest.raises(ConfigurationError):
+            horizontal_deviation([], 8000)
+        with pytest.raises(ConfigurationError):
+            max_ideal_lag([], 8000, 100)
 
 
 class TestTables:

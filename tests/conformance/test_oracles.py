@@ -198,3 +198,66 @@ class TestCheckScenario:
         variant = variant_by_name("drr")
         scenario = generate_scenario(2, quick=True)
         assert check_engine_equivalence(variant, scenario) == []
+
+
+class TestBoundsOracle:
+    """Family 4: network-calculus delay-bound certification."""
+
+    @pytest.mark.parametrize("name", ["srr", "drr", "wrr", "iwrr"])
+    @pytest.mark.parametrize("engine", ["heap", "calendar"])
+    def test_clean_disciplines_certify(self, name, engine):
+        from repro.conformance.oracles import check_bounds
+
+        variant = variant_by_name(name)
+        for seed in range(3):
+            scenario = generate_scenario(seed, quick=True)
+            assert check_bounds(variant, scenario, engine=engine) == []
+
+    def test_uncertified_disciplines_are_exempt(self):
+        from repro.conformance.oracles import check_bounds
+
+        scenario = generate_scenario(0, quick=True)
+        for name in ("rr", "wfq"):
+            variant = variant_by_name(name)
+            assert check_bounds(variant, scenario) == []
+
+    def test_starved_flow_is_flagged(self, restore_drr):
+        from repro.conformance.oracles import check_bounds
+
+        class FirstFlowOnlyDRR(DRRScheduler):
+            # Serves only the first-registered flow: everyone else
+            # starves, which the oracle must refuse to certify.
+            def dequeue(self):
+                first = next(iter(self._flows.values()), None)
+                if first is None or not first.queue:
+                    return None
+                return self._account_departure(first.take())
+
+        register_scheduler("drr", FirstFlowOnlyDRR)
+        variant = variant_by_name("drr")
+        flows = (FlowDef("a", 2, 2.0), FlowDef("b", 1, 1.0))
+        scenario = Scenario(7, flows, (("enq", 0, 200), ("enq", 1, 200)))
+        checks = {v.check for v in check_bounds(variant, scenario)}
+        assert checks & {"no_service", "delay_bound"}
+
+    def test_check_scenario_wires_bounds_family(self):
+        variant = variant_by_name("iwrr")
+        scenario = generate_scenario(5, quick=True)
+        violations = check_scenario(
+            variant, scenario,
+            families=("conservation", "lag", "metamorphic", "bounds"),
+            bounds_engines=("heap", "calendar"),
+        )
+        assert violations == []
+
+    def test_certification_records_are_sound(self):
+        from repro.conformance.oracles import bounds_certification_run
+
+        records = bounds_certification_run(
+            "iwrr", [("a", 4.0), ("b", 2.0), ("c", 1.0)],
+        )
+        assert [r["flow_id"] for r in records] == ["a", "b", "c"]
+        for rec in records:
+            assert rec["delivered"] > 0
+            assert rec["observed_s"] <= rec["bound_s"]
+            assert 0 < rec["ratio"] <= 1.0

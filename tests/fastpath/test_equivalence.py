@@ -31,6 +31,7 @@ CONFIGS = [
     ),
     pytest.param("drr", "drr:fast", {"quantum": 200}, id="drr"),
     pytest.param("wrr", "wrr:fast", {}, id="wrr"),
+    pytest.param("iwrr", "iwrr:fast", {}, id="iwrr"),
     pytest.param("rr", "rr:fast", {}, id="rr"),
 ]
 

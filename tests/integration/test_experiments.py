@@ -116,8 +116,17 @@ class TestExperimentFunctions:
 
     def test_registry_complete(self):
         assert sorted(EXPERIMENTS) == sorted(
-            f"e{i}" for i in range(1, 16)
+            f"e{i}" for i in range(1, 17)
         )
+
+    def test_e16(self):
+        result = run_experiment(
+            "e16", flow_counts=(2,), seeds_per_case=1, quiet=True,
+        )
+        assert result["all_certified"] is True
+        assert 0 < result["worst_ratio"] <= 1.0
+        for disc in ("srr", "drr", "wrr", "iwrr"):
+            assert 0 < result[f"worst_ratio_{disc}"] <= 1.0
 
 
 class TestCLI:

@@ -1,0 +1,138 @@
+"""Interleaved WRR semantics (the ``iwrr`` discipline).
+
+IWRR serves a round of *cycles*: cycle ``c`` sends one packet from every
+backlogged flow whose weight is at least ``c``, so a weight-``w`` flow
+still gets ``w`` packets per round but interleaved with its competitors
+instead of as one consecutive burst (arXiv 2003.08372). These tests pin
+the observable contract: the first-round interleaving order, per-round
+service counts, the at-most-one-packet-per-cycle invariant, credit
+forfeiture on drain, and clean removal/rejoin behaviour. Bit-level
+object-vs-fast equivalence is covered in ``tests/fastpath``.
+"""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.schedulers.registry import create_scheduler
+
+
+def load(sched, counts, size=100):
+    for fid, n in counts.items():
+        for _ in range(n):
+            sched.enqueue(Packet(fid, size))
+
+
+def drain_ids(sched, n=None):
+    out = []
+    while n is None or len(out) < n:
+        p = sched.dequeue()
+        if p is None:
+            break
+        out.append(p.flow_id)
+    return out
+
+
+class TestInterleaving:
+    def test_first_round_interleaves_where_wrr_bursts(self):
+        """a(w=2), b(w=1): WRR sends ``a a b``, IWRR ``a b a`` — cycle 1
+        serves both flows, cycle 2 only the weight-2 one."""
+        iwrr = create_scheduler("iwrr")
+        wrr = create_scheduler("wrr")
+        for s in (iwrr, wrr):
+            s.add_flow("a", 2)
+            s.add_flow("b", 1)
+            load(s, {"a": 3, "b": 3})
+        assert drain_ids(iwrr, 3) == ["a", "b", "a"]
+        assert drain_ids(wrr, 3) == ["a", "a", "b"]
+
+    def test_per_round_counts_match_weights(self):
+        """Every 7-service window of a saturated {4,2,1} mix serves each
+        flow exactly its weight (rounds may rotate who leads)."""
+        sched = create_scheduler("iwrr")
+        for fid, w in (("a", 4), ("b", 2), ("c", 1)):
+            sched.add_flow(fid, w)
+        load(sched, {"a": 20, "b": 10, "c": 5})
+        served = drain_ids(sched)
+        assert len(served) == 35
+        for start in range(0, 35, 7):
+            window = served[start:start + 7]
+            assert window.count("a") == 4
+            assert window.count("b") == 2
+            assert window.count("c") == 1
+
+    def test_no_consecutive_burst_in_saturated_mix(self):
+        """With weights {3, 3, 2} every cycle serves at least two flows,
+        so IWRR never sends the same flow back-to-back — where WRR's
+        round for the same weights is the burst train ``aaabbbcc``."""
+        sched = create_scheduler("iwrr")
+        for fid, w in (("a", 3), ("b", 3), ("c", 2)):
+            sched.add_flow(fid, w)
+        load(sched, {"a": 9, "b": 9, "c": 6})
+        served = drain_ids(sched)
+        assert len(served) == 24
+        assert all(x != y for x, y in zip(served, served[1:]))
+        # And each 8-service round still honours the weights exactly.
+        for start in range(0, 24, 8):
+            window = served[start:start + 8]
+            assert (window.count("a"), window.count("b"),
+                    window.count("c")) == (3, 3, 2)
+
+
+class TestCreditLifecycle:
+    def test_drained_flow_forfeits_remaining_credit(self):
+        sched = create_scheduler("iwrr")
+        sched.add_flow("a", 4)
+        sched.add_flow("b", 1)
+        load(sched, {"a": 1, "b": 3})
+        # a drains after one packet; its 3 unused credits die with it,
+        # b then owns the link.
+        assert drain_ids(sched) == ["a", "b", "b", "b"]
+
+    def test_rejoining_flow_gets_fresh_credit(self):
+        sched = create_scheduler("iwrr")
+        sched.add_flow("a", 2)
+        sched.add_flow("b", 2)
+        load(sched, {"a": 1})
+        assert drain_ids(sched) == ["a"]
+        # Re-backlogging after idling must grant a full allocation.
+        load(sched, {"a": 4, "b": 4})
+        served = drain_ids(sched)
+        assert served.count("a") == 4 and served.count("b") == 4
+        assert sorted(served[:4].count(f) for f in "ab") == [2, 2]
+
+    def test_single_flow_serves_fifo(self):
+        sched = create_scheduler("iwrr")
+        sched.add_flow("a", 3)
+        sizes = [100, 200, 300, 400]
+        for s in sizes:
+            sched.enqueue(Packet("a", s))
+        assert [sched.dequeue().size for _ in sizes] == sizes
+        assert sched.dequeue() is None
+
+
+class TestFlowChurn:
+    def test_remove_flow_mid_round(self):
+        sched = create_scheduler("iwrr")
+        for fid in ("a", "b", "c"):
+            sched.add_flow(fid, 2)
+        load(sched, {"a": 4, "b": 4, "c": 4})
+        first = [sched.dequeue().flow_id for _ in range(2)]
+        assert first == ["a", "b"]
+        assert sched.remove_flow("b") == 3  # three queued packets dropped
+        rest = drain_ids(sched)
+        assert "b" not in rest
+        assert rest.count("a") == 3 and rest.count("c") == 4
+        assert sched.backlog == 0
+
+    def test_weights_must_be_integers(self):
+        from repro.core.errors import InvalidWeightError
+
+        sched = create_scheduler("iwrr")
+        with pytest.raises(InvalidWeightError):
+            sched.add_flow("x", 1.5)
+
+    def test_empty_dequeue_returns_none(self):
+        sched = create_scheduler("iwrr")
+        assert sched.dequeue() is None
+        sched.add_flow("a", 1)
+        assert sched.dequeue() is None
